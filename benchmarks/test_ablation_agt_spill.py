@@ -1,0 +1,48 @@
+"""Ablation: the AGT vs spilling every group descriptor to global memory.
+
+Section 4.3 argues for the on-chip AGT against keeping aggregated-group
+descriptors in global memory.  Shrinking the AGT to a single entry makes
+the single-probe hash collide for essentially every concurrently pending
+group, so every group pays the DRAM fetch before its TBs can distribute —
+approximating the no-AGT design point.
+"""
+
+from repro import ExecutionMode
+from repro.config import GPUConfig
+from repro.harness.runner import run_benchmark
+
+from .conftest import BENCH_LATENCY_SCALE, BENCH_SCALE
+
+BENCHMARK = "amr"  # bursty nested launches: hundreds of groups pending
+
+
+def test_agt_beats_global_memory_descriptors(benchmark):
+    def run_pair():
+        with_agt = run_benchmark(
+            BENCHMARK,
+            ExecutionMode.DTBL,
+            scale=BENCH_SCALE,
+            latency_scale=BENCH_LATENCY_SCALE,
+            config=GPUConfig.k20c(),
+        )
+        no_agt = run_benchmark(
+            BENCHMARK,
+            ExecutionMode.DTBL,
+            scale=BENCH_SCALE,
+            latency_scale=BENCH_LATENCY_SCALE,
+            config=GPUConfig.k20c().with_agt_entries(1),
+        )
+        return with_agt, no_agt
+
+    with_agt, no_agt = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    slowdown = no_agt.cycles / with_agt.cycles
+    print(
+        f"\n{BENCHMARK}: AGT=1024 {with_agt.cycles:,} cycles | "
+        f"AGT=1 (all spilled) {no_agt.cycles:,} cycles | "
+        f"slowdown {slowdown:.2f}x | spills "
+        f"{no_agt.stats.agt_hash_spills}/{no_agt.stats.agg_matched}"
+    )
+    # Spilling every descriptor must hurt: the scheduler serializes on
+    # DRAM fetches at the head of the NAGEI chain.
+    assert slowdown > 1.05
+    assert no_agt.stats.agt_hash_spills > with_agt.stats.agt_hash_spills

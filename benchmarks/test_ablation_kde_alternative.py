@@ -1,0 +1,55 @@
+"""Ablation: DTBL coalescing vs the Section 4.3 'more KDE entries'
+alternative.
+
+Section 4.3 weighs DTBL's AGT against simply enlarging the Kernel
+Distributor and scheduling each aggregated group independently.  The
+paper rejects the alternative: uncoalesced groups (i) mix TB
+configurations on SMXs and lose the designed occupancy, (ii) repeat
+per-kernel context setup, and (iii) scale KMU/FCFS hardware.  This bench
+runs that design point (``dtbl_no_coalescing`` + a 256-entry KDE) against
+real DTBL and checks that coalescing wins even when the alternative gets
+8x the KDE capacity for free.
+"""
+
+import dataclasses
+
+from repro import ExecutionMode
+from repro.config import GPUConfig
+from repro.harness.runner import run_benchmark
+
+from .conftest import BENCH_LATENCY_SCALE, BENCH_SCALE
+
+BENCHMARK = "amr"  # dense, self-coalescing launches
+
+
+def test_coalescing_beats_enlarged_kde(benchmark):
+    def run_pair():
+        dtbl = run_benchmark(
+            BENCHMARK,
+            ExecutionMode.DTBL,
+            scale=BENCH_SCALE,
+            latency_scale=BENCH_LATENCY_SCALE,
+            config=GPUConfig.k20c(),
+        )
+        alternative = run_benchmark(
+            BENCHMARK,
+            ExecutionMode.DTBL,
+            scale=BENCH_SCALE,
+            latency_scale=BENCH_LATENCY_SCALE,
+            config=dataclasses.replace(
+                GPUConfig.k20c(),
+                dtbl_no_coalescing=True,
+                max_concurrent_kernels=256,
+            ),
+        )
+        return dtbl, alternative
+
+    dtbl, alternative = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print(
+        f"\n{BENCHMARK}: DTBL (coalescing, 32 KDE) {dtbl.cycles:,} cycles | "
+        f"no-coalescing + 256 KDE {alternative.cycles:,} cycles | "
+        f"advantage {alternative.cycles / dtbl.cycles:.2f}x"
+    )
+    assert alternative.stats.agg_matched == 0  # nothing coalesced
+    assert dtbl.stats.agg_match_rate > 0.5
+    assert dtbl.cycles < alternative.cycles

@@ -1,0 +1,42 @@
+"""Ablation: warp scheduling policy (GTO vs loose round-robin).
+
+Section 5.1 configures the greedy-then-oldest scheduler and notes DTBL is
+transparent to warp scheduling.  This bench checks that transparency: the
+DTBL-over-CDP advantage holds under both policies, and the policies are
+close to each other for these latency-bound irregular workloads.
+"""
+
+import dataclasses
+
+from repro import ExecutionMode
+from repro.config import GPUConfig
+from repro.harness.runner import run_benchmark
+
+from .conftest import BENCH_LATENCY_SCALE, BENCH_SCALE
+
+BENCHMARK = "bfs_citation"
+
+
+def test_dtbl_advantage_is_scheduler_agnostic(benchmark):
+    def run_matrix():
+        results = {}
+        for policy in ("gto", "rr"):
+            config = dataclasses.replace(GPUConfig.k20c(), warp_scheduler=policy)
+            for mode in (ExecutionMode.CDP, ExecutionMode.DTBL):
+                results[(policy, mode)] = run_benchmark(
+                    BENCHMARK,
+                    mode,
+                    scale=BENCH_SCALE,
+                    latency_scale=BENCH_LATENCY_SCALE,
+                    config=config,
+                ).cycles
+        return results
+
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    print()
+    for (policy, mode), cycles in sorted(results.items(), key=str):
+        print(f"  {policy} {mode.value:5s} {cycles:,} cycles")
+    for policy in ("gto", "rr"):
+        cdp = results[(policy, ExecutionMode.CDP)]
+        dtbl = results[(policy, ExecutionMode.DTBL)]
+        assert dtbl < cdp, f"DTBL must beat CDP under {policy}"

@@ -1,0 +1,33 @@
+"""Figure 6: warp activity percentage for flat / CDP / DTBL.
+
+Paper shape: CDP and DTBL raise warp activity by ~10 pp on average (they
+launch the same dynamic work, so their activities are nearly identical);
+the biggest gains come from the heavily imbalanced inputs (amr,
+join_gaussian); balanced inputs (clr_graph500) barely change and
+clr_cage15 may drop slightly.
+"""
+
+from repro.harness.experiments import figure6_warp_activity
+
+from .conftest import show
+
+
+def test_fig06(grid, benchmark):
+    experiment = benchmark.pedantic(
+        figure6_warp_activity, args=(grid,), rounds=1, iterations=1
+    )
+    show(experiment)
+    rows = {row[0]: row[1:] for row in experiment.rows}
+
+    # CDP and DTBL launch identical dynamic work: activities nearly equal.
+    for name, (flat, cdp, dtbl) in rows.items():
+        assert abs(cdp - dtbl) < 2.0, f"{name}: CDP/DTBL activity diverged"
+
+    # Dynamic modes raise average warp activity.
+    gain = experiment.summary["avg warp-activity gain (DTBL - flat, pp)"]
+    assert gain > 3.0
+
+    # Imbalanced inputs gain the most; balanced clr_graph500 barely moves.
+    assert rows["join_gaussian"][2] - rows["join_gaussian"][0] > 10.0
+    assert rows["amr"][2] - rows["amr"][0] > 10.0
+    assert abs(rows["clr_graph500"][2] - rows["clr_graph500"][0]) < 3.0

@@ -1,0 +1,33 @@
+"""Figure 8: SMX occupancy for CDPI / DTBLI / CDP / DTBL.
+
+Paper shape: DTBL-Ideal beats CDP-Ideal (avg 1.24x; the fine-grained bht
+gains most because CDP is capped by 32 concurrent kernels), and adding
+launch latency costs CDP more occupancy than DTBL (-10.7 pp vs -5.2 pp).
+"""
+
+from repro.harness.experiments import figure8_smx_occupancy
+
+from .conftest import show
+
+
+def test_fig08(grid, benchmark):
+    experiment = benchmark.pedantic(
+        figure8_smx_occupancy, args=(grid,), rounds=1, iterations=1
+    )
+    show(experiment)
+    rows = {row[0]: row[1:] for row in experiment.rows}
+
+    # DTBLI occupancy >= CDPI on average.
+    ratio = experiment.summary["DTBLI / CDPI occupancy ratio (geomean)"]
+    assert ratio > 1.0
+
+    # Launch latency hurts CDP at least as much as DTBL.
+    cdp_drop = experiment.summary["avg occupancy drop CDP vs CDPI (pp)"]
+    dtbl_drop = experiment.summary["avg occupancy drop DTBL vs DTBLI (pp)"]
+    assert cdp_drop <= 0.5  # occupancy does not rise when latency is added
+    assert dtbl_drop <= 0.5
+    assert cdp_drop <= dtbl_drop + 0.5
+
+    # bht (fine-grained children, ~warp-sized) sees a DTBLI advantage.
+    cdpi, dtbli, _cdp, _dtbl = rows["bht"]
+    assert dtbli >= cdpi

@@ -1,0 +1,25 @@
+"""Figure 9: average waiting time of a dynamic kernel / aggregated group.
+
+Paper shape: DTBL reduces launch-to-execution waiting time versus CDP
+(ideal -18.8%, with latency -24.1%); regx_string (highest DFP density)
+improves the most.
+"""
+
+from repro.harness.experiments import figure9_waiting_time
+
+from .conftest import show
+
+
+def test_fig09(grid, benchmark):
+    experiment = benchmark.pedantic(
+        figure9_waiting_time, args=(grid,), rounds=1, iterations=1
+    )
+    show(experiment)
+
+    # DTBL waits less than CDP on average, in both latency regimes.
+    assert experiment.summary["avg waiting-time change DTBL vs CDP"] < 0.0
+    assert experiment.summary["avg waiting-time change DTBLI vs CDPI"] < 0.05
+
+    rows = {row[0]: row[1:] for row in experiment.rows}
+    improved = sum(1 for cdpi, dtbli, cdp, dtbl in rows.values() if dtbl <= cdp)
+    assert improved >= len(rows) * 0.6  # most benchmarks improve

@@ -1,0 +1,28 @@
+"""Figure 10: memory footprint reduction of DTBL relative to CDP.
+
+Paper shape: DTBL's pending-launch records are far smaller than CDP's
+pending-kernel records and drain faster, for an average reduction of
+~25.6%; the launch-dense regx_string reduces the most (paper -51.2%).
+"""
+
+from repro.harness.experiments import figure10_memory_footprint
+
+from .conftest import show
+
+
+def test_fig10(grid, benchmark):
+    experiment = benchmark.pedantic(
+        figure10_memory_footprint, args=(grid,), rounds=1, iterations=1
+    )
+    show(experiment)
+
+    assert experiment.summary["avg footprint reduction (%)"] > 10.0
+
+    rows = {row[0]: row for row in experiment.rows}
+    # Every benchmark with dynamic launches: DTBL peak <= CDP peak.
+    for name, (_n, cdp_peak, dtbl_peak, reduction) in rows.items():
+        assert dtbl_peak <= cdp_peak, f"{name}: DTBL footprint above CDP"
+
+    # The launch-dense regx benchmarks shrink substantially.
+    if "regx_string" in rows:
+        assert rows["regx_string"][3] > 20.0

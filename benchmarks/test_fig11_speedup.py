@@ -1,0 +1,39 @@
+"""Figure 11: overall speedup over the flat implementation.
+
+Paper shape (averages): CDPI 1.43x, DTBLI 1.63x, CDP 0.86x (a slowdown —
+launch overhead eats the ideal gain), DTBL 1.21x.  Per-benchmark
+landmarks: bfs_usa_road and sssp_flight barely change (too little DFP);
+clr_graph500 slows down slightly under both dynamic modes (balanced input,
+overhead only).
+"""
+
+from repro.harness.experiments import figure11_speedup
+
+from .conftest import show
+
+
+def test_fig11(grid, benchmark):
+    experiment = benchmark.pedantic(
+        figure11_speedup, args=(grid,), rounds=1, iterations=1
+    )
+    show(experiment)
+    summary = experiment.summary
+    rows = {row[0]: row[1:] for row in experiment.rows}  # CDPI, DTBLI, CDP, DTBL
+
+    # Ordering of the averages: DTBL > 1 >= ~CDP, ideals above reals.
+    assert summary["DTBL speedup (geomean)"] > 1.0
+    assert summary["DTBLI speedup (geomean)"] >= summary["DTBL speedup (geomean)"]
+    assert summary["CDPI speedup (geomean)"] >= summary["CDP speedup (geomean)"]
+    assert summary["DTBL speedup (geomean)"] > summary["CDP speedup (geomean)"]
+
+    # Landmark benchmarks.
+    for name in ("bfs_usa_road", "sssp_flight"):
+        cdpi, dtbli, cdp, dtbl = rows[name]
+        assert 0.9 < dtbl < 1.1, f"{name}: expected ~no change, got {dtbl}"
+    clr_g5 = rows["clr_graph500"]
+    assert clr_g5[3] < 1.05, "clr_graph500 must not benefit from DTBL"
+
+    # Per benchmark: DTBL at least matches CDP (lower launch overhead,
+    # better scheduling) within noise.
+    better = sum(1 for r in rows.values() if r[3] >= r[2] * 0.98)
+    assert better >= len(rows) * 0.8

@@ -1,0 +1,46 @@
+"""Figure 12: DTBL performance sensitivity to the AGT size (512/1024/2048,
+normalized to 1024 entries).
+
+Paper shape: halving the AGT to 512 slows DTBL down (avg 1.31x slowdown),
+doubling to 2048 speeds it up (avg 1.20x); benchmarks with many
+simultaneous aggregated groups (bht, regx) are the most sensitive.
+The mechanism is the single-probe hash: a full/conflicting AGT spills
+group descriptors to global memory, and the scheduler pays a DRAM fetch
+before it can distribute a spilled group's thread blocks.
+"""
+
+from repro.harness.experiments import figure12_agt_sensitivity
+from repro.harness.runner import DEFAULT_LATENCY_SCALE
+
+from .conftest import BENCH_LATENCY_SCALE, BENCH_SCALE, show
+
+#: The AGT-sensitive subset (launch-dense benchmarks) plus one control.
+SENSITIVE = ["bht", "regx_string", "amr", "bfs_citation"]
+
+
+def test_fig12(benchmark):
+    experiment = benchmark.pedantic(
+        figure12_agt_sensitivity,
+        kwargs=dict(
+            benchmarks=SENSITIVE,
+            scale=BENCH_SCALE,
+            latency_scale=BENCH_LATENCY_SCALE,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(experiment)
+    rows = {row[0]: row[1:] for row in experiment.rows}  # 512, 1024, 2048
+
+    # Normalization sanity: the 1024 column is exactly 1.
+    for name, (s512, s1024, s2048) in rows.items():
+        assert abs(s1024 - 1.0) < 1e-9
+
+    # Monotone shape on average: smaller AGT never helps, larger never hurts.
+    g512 = experiment.summary["normalized speedup @ AGT 512 (geomean)"]
+    g2048 = experiment.summary["normalized speedup @ AGT 2048 (geomean)"]
+    assert g512 <= 1.001
+    assert g2048 >= 0.999
+    # And the sweep spreads: shrinking hurts more than growing helps is the
+    # paper's asymmetry; at minimum the two ends must differ.
+    assert g2048 >= g512

@@ -1,0 +1,34 @@
+"""Section 4.3: DTBL hardware overhead (AGT SRAM + extension registers),
+plus the eligible-kernel match-rate claim (~98% under dense launching)."""
+
+from repro import ExecutionMode
+from repro.config import GPUConfig
+from repro.harness.experiments import overhead_analysis
+
+from .conftest import BENCH_LATENCY_SCALE, BENCH_SCALE, show
+
+
+def test_overhead(benchmark):
+    experiment = benchmark.pedantic(overhead_analysis, rounds=1, iterations=1)
+    show(experiment)
+    assert experiment.summary["AGT SRAM bytes"] == 20 * 1024  # 20KB @ 1024 entries
+    assert experiment.summary["extra register bytes"] == 1096
+    # About 0.5% of SMX storage (paper Section 4.3).
+    rows = dict((row[0], row[1]) for row in experiment.rows)
+    assert rows["Fraction of SMX storage"] < 0.01
+
+
+def test_eligible_match_rate(grid, benchmark):
+    """Section 4.2: aggregated groups match an eligible kernel ~98% of the
+    time; mismatches occur early, before device kernels fill the KDE."""
+    dense = ["amr", "join_gaussian", "regx_string", "bht"]
+
+    def collect():
+        return [
+            grid.get(name, ExecutionMode.DTBL_IDEAL).stats.agg_match_rate
+            for name in dense
+        ]
+
+    rates = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print("\neligible-kernel match rates (ideal latency):", rates)
+    assert sum(rates) / len(rates) > 0.9

@@ -1,0 +1,23 @@
+"""Table 2: regenerate the GPGPU-Sim configuration table."""
+
+from repro.config import GPUConfig
+from repro.harness.experiments import table2_configuration
+
+from .conftest import show
+
+
+def test_table2(benchmark):
+    experiment = benchmark.pedantic(table2_configuration, rounds=1, iterations=1)
+    show(experiment)
+    values = dict((row[0], row[1]) for row in experiment.rows)
+    assert values["SMX Clock Freq."] == "706MHz"
+    assert values["Memory Clock Freq."] == "2600MHz"
+    assert values["# of SMX"] == 13
+    assert values["Max # of Resident Thread Blocks per SMX"] == 16
+    assert values["Max # of Resident Threads per SMX"] == 2048
+    assert values["# of 32-bit Registers per SMX"] == 65536
+    assert values["L1 Cache / Shared Mem Size per SMX"] == "16KB / 48KB"
+    assert values["Max # of Concurrent Kernels"] == 32
+    # And the simulator really instantiates these limits.
+    cfg = GPUConfig.k20c()
+    assert cfg.max_resident_warps == 64

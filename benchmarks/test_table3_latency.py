@@ -1,0 +1,82 @@
+"""Table 3: regenerate the CDP/DTBL latency model and verify the simulator
+actually charges those latencies on the launch path."""
+
+import numpy as np
+
+from repro import Device, ExecutionMode, KernelBuilder, KernelFunction
+from repro.config import LatencyModel
+from repro.harness.experiments import table3_latency
+
+from .conftest import show
+
+
+def test_table3_values(benchmark):
+    experiment = benchmark.pedantic(table3_latency, rounds=1, iterations=1)
+    show(experiment)
+    rows = {row[0]: row for row in experiment.rows}
+    assert rows["cudaStreamCreateWithFlags (CDP only)"][1] == 7165
+    assert rows["cudaGetParameterBuffer (CDP and DTBL)"][2:] == [8023, 129]
+    assert rows["cudaLaunchDevice (CDP only)"][2:] == [12187, 1592]
+    assert rows["Kernel dispatching"][1] == 283
+
+
+def _one_thread_launch_kernel(use_dtbl: bool) -> KernelFunction:
+    k = KernelBuilder("parent")
+    tid = k.tid()
+    param = k.param()
+    with k.if_(k.eq(tid, 0)):
+        buf = k.get_param_buffer(1)
+        k.st(buf, k.ld(param, offset=0), offset=0)
+        if use_dtbl:
+            k.launch_agg("noop", buf, agg=1, block=32)
+        else:
+            k.stream_create()
+            k.launch_device("noop", buf, grid=1, block=32)
+    k.exit()
+    return KernelFunction("parent", k.build())
+
+
+def _noop_child() -> KernelFunction:
+    k = KernelBuilder("noop")
+    k.exit()
+    return KernelFunction("noop", k.build())
+
+
+def _single_launch_cycles(mode: ExecutionMode) -> int:
+    dev = Device(mode=mode)
+    dev.register(_noop_child())
+    dev.register(_one_thread_launch_kernel(mode.uses_dtbl))
+    out = dev.alloc(1)
+    dev.launch("parent", grid=1, block=32, params=[out])
+    return dev.synchronize().cycles
+
+
+def test_cdp_launch_path_charges_table3(benchmark):
+    """One CDP launch must cost at least stream + param + launch + dispatch."""
+    lat = LatencyModel.measured_k20c()
+    floor = (
+        lat.stream_create
+        + lat.param_buffer_cycles(1)
+        + lat.launch_device_cycles(1)
+        + lat.kernel_dispatch
+    )
+    cycles = benchmark.pedantic(
+        _single_launch_cycles, args=(ExecutionMode.CDP,), rounds=1, iterations=1
+    )
+    assert cycles >= floor
+
+
+def test_dtbl_launch_path_is_cheaper(benchmark):
+    """The DTBL launch path must beat CDP's by roughly the Table 3 gap."""
+
+    def run_pair():
+        return {
+            mode: _single_launch_cycles(mode)
+            for mode in (ExecutionMode.CDP, ExecutionMode.DTBL)
+        }
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    lat = LatencyModel.measured_k20c()
+    gap = results[ExecutionMode.CDP] - results[ExecutionMode.DTBL]
+    # stream_create + cudaLaunchDevice are CDP-only costs.
+    assert gap >= lat.stream_create

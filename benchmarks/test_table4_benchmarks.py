@@ -1,0 +1,34 @@
+"""Table 4: the benchmark/input configurations must all be registered."""
+
+from repro.harness.experiments import table4_benchmarks
+from repro.workloads import benchmark_names
+
+from .conftest import show
+
+EXPECTED = {
+    "amr",
+    "bht",
+    "bfs_citation",
+    "bfs_usa_road",
+    "bfs_cage15",
+    "clr_citation",
+    "clr_graph500",
+    "clr_cage15",
+    "regx_darpa",
+    "regx_string",
+    "pre_movielens",
+    "join_uniform",
+    "join_gaussian",
+    "sssp_citation",
+    "sssp_flight",
+    "sssp_cage15",
+}
+
+
+def test_table4(benchmark):
+    experiment = benchmark.pedantic(table4_benchmarks, rounds=1, iterations=1)
+    show(experiment)
+    assert set(benchmark_names()) == EXPECTED
+    assert {row[0] for row in experiment.rows} == EXPECTED
+    apps = {row[1] for row in experiment.rows}
+    assert apps == {"amr", "bht", "bfs", "clr", "regx", "pre", "join", "sssp"}

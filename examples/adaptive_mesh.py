@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Adaptive mesh refinement with nested, self-coalescing launches.
+
+AMR is the paper's Fig. 2a pattern: the refinement kernel launches *more
+of itself* — every aggregated group coalesces back onto the same kernel,
+so one Kernel Distributor entry absorbs an entire refinement cascade.
+The example shows the cascade (cells refined per level) and compares the
+launch mechanisms, including the 98%-style eligible-kernel match rate.
+
+Run:  python examples/adaptive_mesh.py
+"""
+
+from repro import ExecutionMode
+from repro.workloads.amr import AmrWorkload
+from repro.workloads.datasets.mesh import amr_grid
+
+
+def main() -> None:
+    grid = amr_grid(side=24, hot_spots=5)
+    workload = AmrWorkload("amr", ExecutionMode.FLAT, grid)
+    counts, _checksum = workload.reference()
+    print(
+        f"energy grid {grid.side}x{grid.side}; refinement cascade: "
+        + " -> ".join(f"level {lvl}: {cnt} cells" for lvl, cnt in enumerate(counts))
+    )
+    print()
+    print(f"{'mode':8s} {'cycles':>10s} {'speedup':>8s} {'warp act%':>10s} "
+          f"{'launches':>9s} {'match%':>7s} {'AGT spills':>11s}")
+    flat_cycles = None
+    for mode in (ExecutionMode.FLAT, ExecutionMode.CDP, ExecutionMode.DTBL):
+        stats = AmrWorkload("amr", mode, grid).execute(latency_scale=0.25).stats
+        if flat_cycles is None:
+            flat_cycles = stats.cycles
+        print(
+            f"{mode.value:8s} {stats.cycles:>10,} {flat_cycles/stats.cycles:>8.2f} "
+            f"{stats.warp_activity_pct:>10.1f} {len(stats.dynamic_launches()):>9d} "
+            f"{100*stats.agg_match_rate:>7.1f} {stats.agt_hash_spills:>11d}"
+        )
+    print()
+    print("Every DTBL group launched by amr_refine coalesces onto amr_refine")
+    print("itself (Fig. 2a), which is why the match rate is ~100%.")
+
+
+if __name__ == "__main__":
+    main()

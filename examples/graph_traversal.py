@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""BFS on a power-law graph under flat, CDP and DTBL execution.
+
+This is the paper's motivating scenario (Section 3.1): vertex expansion
+over a hub-heavy graph.  The flat implementation serializes each vertex's
+neighbor loop inside one thread; CDP launches a device *kernel* per large
+vertex; DTBL launches an aggregated *thread block* group instead.  The
+example prints the metrics behind the paper's Figures 6-11 for all three.
+
+Run:  python examples/graph_traversal.py
+"""
+
+from repro import ExecutionMode
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.datasets.graphs import citation_network
+
+
+def main() -> None:
+    graph = citation_network(n=1200, attach=4)
+    degrees = graph.degrees()
+    print(
+        f"citation-style graph: {graph.num_vertices} vertices, "
+        f"{graph.num_edges} edges, max degree {degrees.max()}, "
+        f"{(degrees >= 32).sum()} hub vertices spawn dynamic work"
+    )
+    print()
+    header = (
+        f"{'mode':8s} {'cycles':>10s} {'speedup':>8s} {'warp act%':>10s} "
+        f"{'dram eff':>9s} {'occup%':>7s} {'launches':>9s} {'avg wait':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    flat_cycles = None
+    for mode in (ExecutionMode.FLAT, ExecutionMode.CDP, ExecutionMode.DTBL):
+        workload = BfsWorkload("bfs_citation", mode, graph)
+        stats = workload.execute(latency_scale=0.25).stats
+        if flat_cycles is None:
+            flat_cycles = stats.cycles
+        print(
+            f"{mode.value:8s} {stats.cycles:>10,} "
+            f"{flat_cycles / stats.cycles:>8.2f} "
+            f"{stats.warp_activity_pct:>10.1f} {stats.dram_efficiency:>9.3f} "
+            f"{stats.smx_occupancy_pct:>7.2f} "
+            f"{len(stats.dynamic_launches()):>9d} "
+            f"{stats.avg_waiting_cycles:>9.0f}"
+        )
+    print()
+    print("DTBL keeps CDP's control-flow/memory regularity gains but avoids")
+    print("most of the launch overhead by coalescing thread blocks onto the")
+    print("already-resident expansion kernel (paper Sections 4.4, 5.2).")
+
+
+if __name__ == "__main__":
+    main()

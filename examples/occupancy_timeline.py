@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Watch the 32-entry Kernel Distributor ceiling bind CDP — and DTBL
+slip past it.
+
+Runs the skewed-join benchmark under CDP and DTBL with a timeline
+sampler attached, then prints terminal sparklines of:
+
+* resident warps (the Fig. 8 occupancy story);
+* Kernel Distributor occupancy (CDP pins it at 32 during launch bursts;
+  DTBL's groups coalesce onto a handful of entries);
+* pending-launch memory footprint (the Fig. 10 story).
+
+Run:  python examples/occupancy_timeline.py
+"""
+
+from repro import Device, ExecutionMode
+from repro.sim.timeline import TimelineSampler
+from repro.workloads.datasets.relations import join_tables
+from repro.workloads.join import JoinWorkload
+
+
+def run(mode: ExecutionMode):
+    data = join_tables("gaussian", r_size=1600, s_size=1200)
+    workload = JoinWorkload("join_gaussian", mode, data)
+    device = Device(mode=mode, latency=mode.latency_model(0.25))
+    sampler = TimelineSampler(device.gpu, interval=100)
+    device.attach_tracer(sampler)
+    for func in workload.build_kernels():
+        device.register(func)
+    workload.setup(device)
+    workload.run(device)
+    stats = device.synchronize()
+    workload.check(device)
+    return sampler, stats
+
+
+def main() -> None:
+    width = 60
+    for mode in (ExecutionMode.CDP, ExecutionMode.DTBL):
+        sampler, stats = run(mode)
+        print(f"=== join_gaussian under {mode.value.upper()} "
+              f"({stats.cycles:,} cycles) ===")
+        print(f"  resident warps (peak {sampler.peak('resident_warps')}):")
+        print(f"    [{sampler.sparkline('resident_warps', width)}]")
+        print(f"  KDE entries occupied (peak {sampler.peak('kde_occupied')}/32):")
+        print(f"    [{sampler.sparkline('kde_occupied', width)}]")
+        if mode.uses_dtbl:
+            print(f"  AGT entries occupied (peak {sampler.peak('agt_occupied')}):")
+            print(f"    [{sampler.sparkline('agt_occupied', width)}]")
+        print(f"  pending-launch footprint (peak "
+              f"{sampler.peak('footprint_bytes'):,} B):")
+        print(f"    [{sampler.sparkline('footprint_bytes', width)}]")
+        print()
+    print("CDP queues fine-grained kernels behind the 32-entry Kernel")
+    print("Distributor and holds ~2KB per pending kernel; DTBL coalesces the")
+    print("same launches onto the resident probe kernel's entry.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: a reproduction of "Dynamic Thread Block Launch" (ISCA 2015).
+
+A pure-Python cycle-level GPU simulator (Kepler/GK110-like baseline) with
+three execution models for dynamically formed parallelism:
+
+* **flat** — nested work serialized within each thread;
+* **CDP** — device-side kernel launches with the paper's measured launch
+  latencies;
+* **DTBL** — the paper's contribution: device-side *thread block* launches
+  coalesced onto existing kernels through the Aggregated Group Table.
+
+Quick start::
+
+    from repro import Device, ExecutionMode, KernelBuilder, KernelFunction
+
+See ``examples/quickstart.py`` and README.md.
+"""
+
+from .config import GPUConfig, LatencyModel, WARP_SIZE
+from .errors import ReproError
+from .isa import KernelBuilder, Program
+from .runtime import Device, ExecutionMode
+from .sim import GPU, KernelFunction, SimStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Device",
+    "ExecutionMode",
+    "GPU",
+    "GPUConfig",
+    "KernelBuilder",
+    "KernelFunction",
+    "LatencyModel",
+    "Program",
+    "ReproError",
+    "SimStats",
+    "WARP_SIZE",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""The paper's contribution: Dynamic Thread Block Launch (Section 4).
+
+* :mod:`repro.dtbl.agt` — the Aggregated Group Table and its entries;
+* :mod:`repro.dtbl.aggregation` — the aggregation-operation command and
+  thread-block coalescing procedure (Fig. 5);
+* :mod:`repro.dtbl.overhead` — the Section 4.3 hardware-overhead model.
+
+The scheduling half of DTBL lives in
+:class:`repro.sim.smx_scheduler.SMXScheduler`, which consumes the data
+structures defined here.
+"""
+
+from .agt import AggregatedGroupEntry, AggregatedGroupTable
+from .aggregation import AggLaunchRequest
+from .overhead import OverheadReport, overhead_report
+
+__all__ = [
+    "AggLaunchRequest",
+    "AggregatedGroupEntry",
+    "AggregatedGroupTable",
+    "OverheadReport",
+    "overhead_report",
+]

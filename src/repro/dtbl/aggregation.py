@@ -1,0 +1,32 @@
+"""The aggregation operation command (Section 4.2, "Launching Aggregated
+Groups").
+
+When one or more threads of a warp invoke ``cudaLaunchAggGroup`` in the
+same dynamic instruction, the SMX combines their launches into a single
+aggregation operation command carrying one :class:`AggLaunchRequest` per
+launching lane.  The SMX scheduler then runs the Fig. 5 procedure on each
+request (implemented in
+:meth:`repro.sim.smx_scheduler.SMXScheduler.process_aggregation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.kernel import LaunchDims
+
+
+@dataclass(frozen=True)
+class AggLaunchRequest:
+    """One lane's aggregated-group launch within an aggregation command."""
+
+    #: Name of the kernel function the new TBs execute (and may coalesce to).
+    kernel_name: str
+    #: Word address of the group's parameter buffer.
+    param_addr: int
+    #: Aggregated-group dimensions (number of TBs per axis).
+    agg_dims: LaunchDims
+    #: Thread-block dimensions; must match the eligible kernel's.
+    block_dims: LaunchDims
+    #: Hardware thread index of the launching lane (drives the AGT hash).
+    hw_tid: int

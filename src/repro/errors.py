@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator, the ISA toolchain, the device runtime,
+or the workloads derives from :class:`ReproError` so callers can catch one
+base type.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid simulator or latency-model configuration."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA toolchain errors."""
+
+
+class AssemblyError(IsaError):
+    """A program could not be assembled (bad operand, duplicate label...)."""
+
+
+class ExecutionError(IsaError):
+    """A functional-execution fault (bad opcode, unresolved label...)."""
+
+
+class MemoryError_(ReproError):
+    """A simulated-memory fault (out-of-bounds access, allocator overflow).
+
+    Named with a trailing underscore to avoid shadowing the Python builtin.
+    """
+
+
+class LaunchError(ReproError):
+    """An invalid host- or device-side kernel/aggregated-group launch."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state or a watchdog limit."""
+
+
+class WorkloadError(ReproError):
+    """A workload was misconfigured or produced an incorrect result."""

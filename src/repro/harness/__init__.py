@@ -1,0 +1,36 @@
+"""Experiment harness: runs the benchmark grid and regenerates every table
+and figure of the paper's evaluation (Section 5).
+"""
+
+from .runner import BenchmarkRun, run_benchmark, run_grid, GridResults
+from .experiments import (
+    figure6_warp_activity,
+    figure7_dram_efficiency,
+    figure8_smx_occupancy,
+    figure9_waiting_time,
+    figure10_memory_footprint,
+    figure11_speedup,
+    figure12_agt_sensitivity,
+    table2_configuration,
+    table3_latency,
+    table4_benchmarks,
+)
+from .reporting import format_table
+
+__all__ = [
+    "BenchmarkRun",
+    "GridResults",
+    "figure6_warp_activity",
+    "figure7_dram_efficiency",
+    "figure8_smx_occupancy",
+    "figure9_waiting_time",
+    "figure10_memory_footprint",
+    "figure11_speedup",
+    "figure12_agt_sensitivity",
+    "format_table",
+    "run_benchmark",
+    "run_grid",
+    "table2_configuration",
+    "table3_latency",
+    "table4_benchmarks",
+]

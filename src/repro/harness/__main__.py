@@ -1,0 +1,108 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness                      # everything (minutes)
+    python -m repro.harness --benchmarks bfs_citation amr
+    python -m repro.harness --scale 0.25         # quick, scaled-down pass
+    python -m repro.harness --figure 11          # a single figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (
+    figure6_warp_activity,
+    figure7_dram_efficiency,
+    figure8_smx_occupancy,
+    figure9_waiting_time,
+    figure10_memory_footprint,
+    figure11_speedup,
+    figure12_agt_sensitivity,
+    overhead_analysis,
+    run_all_figures,
+    table2_configuration,
+    table3_latency,
+    table4_benchmarks,
+)
+from .runner import DEFAULT_LATENCY_SCALE, run_grid
+
+_GRID_FIGURES = {
+    "6": figure6_warp_activity,
+    "7": figure7_dram_efficiency,
+    "8": figure8_smx_occupancy,
+    "9": figure9_waiting_time,
+    "10": figure10_memory_footprint,
+    "11": figure11_speedup,
+}
+
+_STATIC = {
+    "table2": table2_configuration,
+    "table3": table3_latency,
+    "table4": table4_benchmarks,
+    "overhead": overhead_analysis,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the DTBL paper's evaluation tables/figures.",
+    )
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="benchmark subset (default: all of Table 4)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (default 1.0)")
+    parser.add_argument("--latency-scale", type=float, default=DEFAULT_LATENCY_SCALE,
+                        help=f"launch-latency scale (default {DEFAULT_LATENCY_SCALE})")
+    parser.add_argument("--figure", default=None,
+                        help="one of: 6-12, table2, table3, table4, overhead")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress")
+    args = parser.parse_args(argv)
+
+    verbose = not args.quiet
+    start = time.time()
+    if args.figure is None:
+        experiments = run_all_figures(
+            scale=args.scale,
+            latency_scale=args.latency_scale,
+            benchmarks=args.benchmarks,
+            verbose=verbose,
+            agt_benchmarks=args.benchmarks
+            or ["bht", "regx_string", "amr", "bfs_citation"],
+        )
+        for experiment in experiments:
+            print()
+            print(experiment.render())
+    elif args.figure in _STATIC:
+        print(_STATIC[args.figure]().render())
+    elif args.figure == "12":
+        print(
+            figure12_agt_sensitivity(
+                benchmarks=args.benchmarks
+                or ["bht", "regx_string", "amr", "bfs_citation"],
+                scale=args.scale,
+                latency_scale=args.latency_scale,
+                verbose=verbose,
+            ).render()
+        )
+    elif args.figure in _GRID_FIGURES:
+        grid = run_grid(
+            benchmarks=args.benchmarks,
+            scale=args.scale,
+            latency_scale=args.latency_scale,
+            verbose=verbose,
+        )
+        print(_GRID_FIGURES[args.figure](grid).render())
+    else:
+        parser.error(f"unknown figure {args.figure!r}")
+    if verbose:
+        print(f"\n[{time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

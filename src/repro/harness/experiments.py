@@ -1,0 +1,387 @@
+"""One function per table / figure of the paper's evaluation.
+
+Each function consumes a :class:`~repro.harness.runner.GridResults` (or
+runs the sub-grid it needs) and returns an :class:`Experiment` carrying
+the regenerated rows, headline aggregates, and the paper's reported
+numbers for side-by-side comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import GPUConfig, LatencyModel
+from ..dtbl.overhead import overhead_report
+from ..runtime import ExecutionMode
+from ..workloads import benchmark_names, get_benchmark
+from .reporting import format_table, geomean, mean
+from .runner import (
+    DEFAULT_LATENCY_SCALE,
+    GridResults,
+    run_benchmark,
+    run_grid,
+)
+
+FLAT = ExecutionMode.FLAT
+CDP = ExecutionMode.CDP
+CDPI = ExecutionMode.CDP_IDEAL
+DTBL = ExecutionMode.DTBL
+DTBLI = ExecutionMode.DTBL_IDEAL
+
+
+@dataclass
+class Experiment:
+    """A regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[list]
+    #: Headline aggregates (averages etc.) keyed by metric name.
+    summary: Dict[str, float] = field(default_factory=dict)
+    #: What the paper reports for the same experiment.
+    paper: Dict[str, float] = field(default_factory=dict)
+    note: str = ""
+
+    def render(self) -> str:
+        lines = [format_table(f"{self.experiment_id}: {self.title}", self.headers, self.rows, self.note)]
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                paper_value = self.paper.get(key)
+                suffix = f"   (paper: {paper_value})" if paper_value is not None else ""
+                lines.append(f"  {key}: {value:.3f}{suffix}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Tables 2-4 (static)
+# ----------------------------------------------------------------------
+
+def table2_configuration(config: Optional[GPUConfig] = None) -> Experiment:
+    """Table 2: GPGPU-Sim configuration parameters."""
+    cfg = config or GPUConfig.k20c()
+    rows = [
+        ["SMX Clock Freq.", f"{cfg.smx_clock_mhz}MHz"],
+        ["Memory Clock Freq.", f"{cfg.memory_clock_mhz}MHz"],
+        ["# of SMX", cfg.num_smx],
+        ["Max # of Resident Thread Blocks per SMX", cfg.max_resident_blocks],
+        ["Max # of Resident Threads per SMX", cfg.max_resident_threads],
+        ["# of 32-bit Registers per SMX", cfg.registers_per_smx],
+        ["L1 Cache / Shared Mem Size per SMX", f"{cfg.l1_size // 1024}KB / {cfg.shared_mem_size // 1024}KB"],
+        ["Max # of Concurrent Kernels", cfg.max_concurrent_kernels],
+    ]
+    return Experiment("Table 2", "GPU Configuration Parameters", ["Parameter", "Value"], rows)
+
+
+def table3_latency() -> Experiment:
+    """Table 3: CDP / DTBL device-runtime latency model (cycles)."""
+    lat = LatencyModel.measured_k20c()
+    rows = [
+        ["cudaStreamCreateWithFlags (CDP only)", lat.stream_create, "-", "-"],
+        ["cudaGetParameterBuffer (CDP and DTBL)", "-", lat.param_buffer_base, lat.param_buffer_per_thread],
+        ["cudaLaunchDevice (CDP only)", "-", lat.launch_device_base, lat.launch_device_per_thread],
+        ["Kernel dispatching", lat.kernel_dispatch, "-", "-"],
+    ]
+    return Experiment(
+        "Table 3",
+        "Latency Modeling for CDP and DTBL (cycles; b + A*x per warp)",
+        ["API", "flat", "b", "A"],
+        rows,
+    )
+
+
+def table4_benchmarks() -> Experiment:
+    """Table 4: the benchmark / input configurations."""
+    rows = []
+    for name in benchmark_names():
+        workload = get_benchmark(name, FLAT)
+        rows.append([name, workload.app_name, type(workload).__name__])
+    return Experiment(
+        "Table 4",
+        "Benchmarks used in the experimental evaluation",
+        ["Configuration", "Application", "Workload class"],
+        rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6-11 (full grid)
+# ----------------------------------------------------------------------
+
+def figure6_warp_activity(grid: GridResults) -> Experiment:
+    """Fig. 6: average percentage of active threads in a warp."""
+    rows = []
+    deltas = []
+    for name in grid.benchmarks():
+        flat = grid.get(name, FLAT).stats.warp_activity_pct
+        cdp = grid.get(name, CDP).stats.warp_activity_pct
+        dtbl = grid.get(name, DTBL).stats.warp_activity_pct
+        rows.append([name, round(flat, 1), round(cdp, 1), round(dtbl, 1)])
+        deltas.append(dtbl - flat)
+    exp = Experiment(
+        "Figure 6",
+        "Warp Activity Percentage",
+        ["benchmark", "Flat", "CDP", "DTBL"],
+        rows,
+        summary={"avg warp-activity gain (DTBL - flat, pp)": mean(deltas)},
+        paper={"avg warp-activity gain (DTBL - flat, pp)": 10.7},
+    )
+    return exp
+
+
+def figure7_dram_efficiency(grid: GridResults) -> Experiment:
+    """Fig. 7: DRAM efficiency (the paper's (n_rd+n_wr)/n_activity)."""
+    rows = []
+    cdp_gain = []
+    dtbl_gain = []
+    for name in grid.benchmarks():
+        flat = grid.get(name, FLAT).stats.dram_efficiency
+        cdp = grid.get(name, CDP).stats.dram_efficiency
+        dtbl = grid.get(name, DTBL).stats.dram_efficiency
+        rows.append([name, flat, cdp, dtbl])
+        cdp_gain.append(cdp - flat)
+        dtbl_gain.append(dtbl - flat)
+    return Experiment(
+        "Figure 7",
+        "DRAM Efficiency",
+        ["benchmark", "Flat", "CDP", "DTBL"],
+        rows,
+        summary={
+            "avg DRAM-efficiency gain CDP - flat": mean(cdp_gain),
+            "avg DRAM-efficiency gain DTBL - flat": mean(dtbl_gain),
+        },
+        paper={
+            "avg DRAM-efficiency gain CDP - flat": 0.029,
+            "avg DRAM-efficiency gain DTBL - flat": 0.053,
+        },
+    )
+
+
+def figure8_smx_occupancy(grid: GridResults) -> Experiment:
+    """Fig. 8: SMX occupancy for CDPI / DTBLI / CDP / DTBL."""
+    rows = []
+    ratios = []
+    cdp_drop = []
+    dtbl_drop = []
+    for name in grid.benchmarks():
+        cdpi = grid.get(name, CDPI).stats.smx_occupancy_pct
+        dtbli = grid.get(name, DTBLI).stats.smx_occupancy_pct
+        cdp = grid.get(name, CDP).stats.smx_occupancy_pct
+        dtbl = grid.get(name, DTBL).stats.smx_occupancy_pct
+        rows.append([name, round(cdpi, 1), round(dtbli, 1), round(cdp, 1), round(dtbl, 1)])
+        if cdpi > 0:
+            ratios.append(dtbli / cdpi)
+        cdp_drop.append(cdp - cdpi)
+        dtbl_drop.append(dtbl - dtbli)
+    return Experiment(
+        "Figure 8",
+        "SMX Occupancy (%)",
+        ["benchmark", "CDPI", "DTBLI", "CDP", "DTBL"],
+        rows,
+        summary={
+            "DTBLI / CDPI occupancy ratio (geomean)": geomean(ratios),
+            "avg occupancy drop CDP vs CDPI (pp)": mean(cdp_drop),
+            "avg occupancy drop DTBL vs DTBLI (pp)": mean(dtbl_drop),
+        },
+        paper={
+            "DTBLI / CDPI occupancy ratio (geomean)": 1.24,
+            "avg occupancy drop CDP vs CDPI (pp)": -10.7,
+            "avg occupancy drop DTBL vs DTBLI (pp)": -5.2,
+        },
+    )
+
+
+def figure9_waiting_time(grid: GridResults) -> Experiment:
+    """Fig. 9: average waiting time per dynamic kernel / aggregated group."""
+    rows = []
+    ideal_deltas = []
+    real_deltas = []
+    for name in grid.benchmarks():
+        cdpi = grid.get(name, CDPI).stats.avg_waiting_cycles
+        dtbli = grid.get(name, DTBLI).stats.avg_waiting_cycles
+        cdp = grid.get(name, CDP).stats.avg_waiting_cycles
+        dtbl = grid.get(name, DTBL).stats.avg_waiting_cycles
+        if cdp == 0 and dtbl == 0:
+            continue  # no dynamic launches in this benchmark
+        rows.append([name, round(cdpi), round(dtbli), round(cdp), round(dtbl)])
+        if cdpi > 0:
+            ideal_deltas.append((dtbli - cdpi) / cdpi)
+        if cdp > 0:
+            real_deltas.append((dtbl - cdp) / cdp)
+    return Experiment(
+        "Figure 9",
+        "Average Waiting Time for a Kernel or an Aggregated Group (cycles)",
+        ["benchmark", "CDPI", "DTBLI", "CDP", "DTBL"],
+        rows,
+        summary={
+            "avg waiting-time change DTBLI vs CDPI": mean(ideal_deltas),
+            "avg waiting-time change DTBL vs CDP": mean(real_deltas),
+        },
+        paper={
+            "avg waiting-time change DTBLI vs CDPI": -0.188,
+            "avg waiting-time change DTBL vs CDP": -0.241,
+        },
+    )
+
+
+def figure10_memory_footprint(grid: GridResults) -> Experiment:
+    """Fig. 10: memory footprint reduction of DTBL relative to CDP."""
+    rows = []
+    reductions = []
+    for name in grid.benchmarks():
+        cdp = grid.get(name, CDP).stats.peak_footprint_bytes
+        dtbl = grid.get(name, DTBL).stats.peak_footprint_bytes
+        if cdp == 0:
+            continue
+        reduction_pct = 100.0 * (cdp - dtbl) / cdp
+        rows.append([name, cdp, dtbl, round(reduction_pct, 1)])
+        reductions.append(reduction_pct)
+    return Experiment(
+        "Figure 10",
+        "Memory Footprint Reduction of DTBL from CDP",
+        ["benchmark", "CDP peak (B)", "DTBL peak (B)", "reduction (%)"],
+        rows,
+        summary={"avg footprint reduction (%)": mean(reductions)},
+        paper={"avg footprint reduction (%)": 25.6},
+    )
+
+
+def figure11_speedup(grid: GridResults) -> Experiment:
+    """Fig. 11: overall speedup over the flat implementation."""
+    rows = []
+    agg = {CDPI: [], DTBLI: [], CDP: [], DTBL: []}
+    for name in grid.benchmarks():
+        row = [name]
+        for mode in (CDPI, DTBLI, CDP, DTBL):
+            speedup = grid.speedup(name, mode)
+            row.append(round(speedup, 2))
+            agg[mode].append(speedup)
+        rows.append(row)
+    return Experiment(
+        "Figure 11",
+        "Overall Performance: Speedup over Flat Implementation",
+        ["benchmark", "CDPI", "DTBLI", "CDP", "DTBL"],
+        rows,
+        summary={
+            "CDPI speedup (geomean)": geomean(agg[CDPI]),
+            "DTBLI speedup (geomean)": geomean(agg[DTBLI]),
+            "CDP speedup (geomean)": geomean(agg[CDP]),
+            "DTBL speedup (geomean)": geomean(agg[DTBL]),
+        },
+        paper={
+            "CDPI speedup (geomean)": 1.43,
+            "DTBLI speedup (geomean)": 1.63,
+            "CDP speedup (geomean)": 0.86,
+            "DTBL speedup (geomean)": 1.21,
+        },
+        note="Paper averages are arithmetic; geomean shown here is less "
+        "sensitive to the scaled-down outliers (see EXPERIMENTS.md).",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12: AGT-size sensitivity (its own sub-grid)
+# ----------------------------------------------------------------------
+
+def figure12_agt_sensitivity(
+    benchmarks: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = (512, 1024, 2048),
+    scale: float = 1.0,
+    latency_scale: float = DEFAULT_LATENCY_SCALE,
+    verbose: bool = False,
+) -> Experiment:
+    """Fig. 12: DTBL performance sensitivity to the AGT size.
+
+    Runs the DTBL mode under each AGT size and normalizes each
+    benchmark's performance (1/cycles) to the 1024-entry baseline.
+    """
+    names = list(benchmarks) if benchmarks is not None else benchmark_names()
+    rows = []
+    norm: Dict[int, List[float]] = {size: [] for size in sizes}
+    for name in names:
+        cycles: Dict[int, int] = {}
+        for size in sizes:
+            config = GPUConfig.k20c().with_agt_entries(size)
+            run = run_benchmark(
+                name, DTBL, scale=scale, latency_scale=latency_scale, config=config
+            )
+            cycles[size] = run.cycles
+            if verbose:
+                print(f"  {name} AGT={size}: {run.cycles:,} cycles")
+        base = cycles.get(1024) or cycles[sizes[len(sizes) // 2]]
+        row = [name]
+        for size in sizes:
+            normalized = base / cycles[size] if cycles[size] else 0.0
+            row.append(round(normalized, 3))
+            norm[size].append(normalized)
+        rows.append(row)
+    summary = {
+        f"normalized speedup @ AGT {size} (geomean)": geomean(norm[size]) for size in sizes
+    }
+    paper = {}
+    if 512 in sizes:
+        paper["normalized speedup @ AGT 512 (geomean)"] = 1 / 1.31
+    if 1024 in sizes:
+        paper["normalized speedup @ AGT 1024 (geomean)"] = 1.0
+    if 2048 in sizes:
+        paper["normalized speedup @ AGT 2048 (geomean)"] = 1.20
+    return Experiment(
+        "Figure 12",
+        "Performance Sensitivity to AGT Size (normalized to 1024 entries)",
+        ["benchmark"] + [str(s) for s in sizes],
+        rows,
+        summary=summary,
+        paper=paper,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4.3 overhead analysis
+# ----------------------------------------------------------------------
+
+def overhead_analysis(config: Optional[GPUConfig] = None) -> Experiment:
+    """Section 4.3: on-chip SRAM overhead of the DTBL extension."""
+    report = overhead_report(config or GPUConfig.k20c())
+    return Experiment(
+        "Section 4.3",
+        "DTBL Hardware Overhead",
+        ["quantity", "value"],
+        [list(row) for row in report.rows()],
+        summary={
+            "AGT SRAM bytes": float(report.agt_sram_bytes),
+            "extra register bytes": float(report.register_bytes),
+        },
+        paper={"AGT SRAM bytes": 20 * 1024, "extra register bytes": 1096},
+    )
+
+
+def run_all_figures(
+    scale: float = 1.0,
+    latency_scale: float = DEFAULT_LATENCY_SCALE,
+    benchmarks: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+    agt_benchmarks: Optional[Sequence[str]] = None,
+) -> List[Experiment]:
+    """Regenerate every table and figure; returns them in paper order."""
+    grid = run_grid(
+        benchmarks=benchmarks, scale=scale, latency_scale=latency_scale, verbose=verbose
+    )
+    experiments = [
+        table2_configuration(),
+        table3_latency(),
+        table4_benchmarks(),
+        figure6_warp_activity(grid),
+        figure7_dram_efficiency(grid),
+        figure8_smx_occupancy(grid),
+        figure9_waiting_time(grid),
+        figure10_memory_footprint(grid),
+        figure11_speedup(grid),
+        figure12_agt_sensitivity(
+            benchmarks=agt_benchmarks, scale=scale, latency_scale=latency_scale,
+            verbose=verbose,
+        ),
+        overhead_analysis(),
+    ]
+    return experiments

@@ -1,0 +1,65 @@
+"""Export experiment results to CSV / JSON for plotting and archiving."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .experiments import Experiment
+
+
+def experiment_to_csv(experiment: Experiment) -> str:
+    """One experiment's rows as CSV text (headers included)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(experiment.headers)
+    writer.writerows(experiment.rows)
+    return buffer.getvalue()
+
+
+def experiment_to_dict(experiment: Experiment) -> dict:
+    """JSON-ready dictionary: rows plus summary and paper expectations."""
+    return {
+        "experiment_id": experiment.experiment_id,
+        "title": experiment.title,
+        "headers": list(experiment.headers),
+        "rows": [list(row) for row in experiment.rows],
+        "summary": dict(experiment.summary),
+        "paper": dict(experiment.paper),
+        "note": experiment.note,
+    }
+
+
+def experiments_to_json(experiments: Iterable[Experiment], indent: int = 2) -> str:
+    return json.dumps([experiment_to_dict(e) for e in experiments], indent=indent)
+
+
+def write_experiments(
+    experiments: Iterable[Experiment],
+    directory: Union[str, Path],
+) -> list:
+    """Write one CSV per experiment plus a combined ``experiments.json``.
+
+    Returns the list of paths written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    experiments = list(experiments)
+    written = []
+    for experiment in experiments:
+        slug = (
+            experiment.experiment_id.lower()
+            .replace(" ", "_")
+            .replace(".", "")
+            .replace(":", "")
+        )
+        path = directory / f"{slug}.csv"
+        path.write_text(experiment_to_csv(experiment))
+        written.append(path)
+    combined = directory / "experiments.json"
+    combined.write_text(experiments_to_json(experiments))
+    written.append(combined)
+    return written

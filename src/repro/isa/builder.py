@@ -1,0 +1,588 @@
+"""Structured-control-flow DSL for writing kernels in the simulated ISA.
+
+The :class:`KernelBuilder` is the intended authoring surface for kernels:
+it allocates registers, coerces Python ints/floats to immediates, and —
+critically — emits the PDOM *reconvergence* annotations that the SIMT
+stack requires, so hand-written kernels can never produce unreconvergeable
+divergence.
+
+Example
+-------
+A kernel that sums ``n`` values starting at ``base`` (both passed through
+the parameter buffer) into ``out``::
+
+    k = KernelBuilder("sum")
+    param = k.param()
+    n = k.ld(param, offset=0)
+    base = k.ld(param, offset=1)
+    out = k.ld(param, offset=2)
+    acc = k.mov(0)
+    with k.for_range(0, n) as i:
+        value = k.ld(k.iadd(base, i))
+        k.iadd(acc, value, dst=acc)
+    k.atom_add(out, acc)
+    program = k.build()
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, Sequence, Tuple, Union
+
+from ..errors import AssemblyError
+from .instructions import (
+    Bank,
+    Cmp,
+    Dims3,
+    Imm,
+    Instr,
+    Opcode,
+    Operand,
+    Reg,
+    Special,
+)
+from .program import Program
+
+Value = Union[Reg, Imm, int, float]
+
+
+def _as_operand(value: Value) -> Operand:
+    """Coerce a Python number to an immediate; pass registers through."""
+    if isinstance(value, (Reg, Imm)):
+        return value
+    if isinstance(value, bool):
+        return Imm(int(value))
+    if isinstance(value, (int, float)):
+        return Imm(value)
+    raise AssemblyError(f"cannot use {value!r} as an instruction operand")
+
+
+def _dims3(dims: Union[int, Value, Sequence[Value]]) -> Dims3:
+    """Coerce a scalar or a 1-3 element sequence into (x, y, z) operands."""
+    if isinstance(dims, (Reg, Imm, int, float)):
+        seq: Sequence[Value] = (dims,)
+    else:
+        seq = tuple(dims)
+    if not 1 <= len(seq) <= 3:
+        raise AssemblyError("launch dimensions need 1 to 3 components")
+    padded = tuple(seq) + (1,) * (3 - len(seq))
+    return (_as_operand(padded[0]), _as_operand(padded[1]), _as_operand(padded[2]))
+
+
+class KernelBuilder:
+    """Builds a finalized :class:`~repro.isa.program.Program`.
+
+    All arithmetic helpers accept registers or Python numbers, allocate a
+    fresh destination register unless ``dst=`` is given, and return the
+    destination register so expressions compose naturally.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.program = Program(name)
+        self._int_regs = itertools.count()
+        self._flt_regs = itertools.count()
+        self._labels = itertools.count()
+        self._built: Optional[Program] = None
+
+    # ------------------------------------------------------------------
+    # Registers and labels
+    # ------------------------------------------------------------------
+    def ireg(self) -> Reg:
+        """Allocate a fresh integer register."""
+        return Reg(Bank.INT, next(self._int_regs))
+
+    def freg(self) -> Reg:
+        """Allocate a fresh float register."""
+        return Reg(Bank.FLT, next(self._flt_regs))
+
+    def _fresh_label(self, stem: str) -> str:
+        return f".{stem}_{next(self._labels)}"
+
+    def _emit(self, instr: Instr) -> int:
+        return self.program.emit(instr)
+
+    # ------------------------------------------------------------------
+    # Special registers
+    # ------------------------------------------------------------------
+    def special(self, which: Special, dst: Optional[Reg] = None) -> Reg:
+        dst = dst or self.ireg()
+        self._emit(Instr(Opcode.READ_SPECIAL, dst=dst, special=which))
+        return dst
+
+    def tid(self) -> Reg:
+        """tid.x of the calling thread."""
+        return self.special(Special.TID_X)
+
+    def ctaid(self) -> Reg:
+        """ctaid.x: the thread block's index within its kernel or group."""
+        return self.special(Special.CTAID_X)
+
+    def ntid(self) -> Reg:
+        """ntid.x: threads per block in x."""
+        return self.special(Special.NTID_X)
+
+    def nctaid(self) -> Reg:
+        """nctaid.x: blocks in x within this kernel or aggregated group."""
+        return self.special(Special.NCTAID_X)
+
+    def gtid(self) -> Reg:
+        """Flattened 1D global thread id (ctaid.x * ntid.x + tid.x)."""
+        return self.special(Special.GTID)
+
+    def param(self) -> Reg:
+        """Base word address of the parameter buffer."""
+        return self.special(Special.PARAM)
+
+    # ------------------------------------------------------------------
+    # Integer / float ALU
+    # ------------------------------------------------------------------
+    def _binop(self, op: Opcode, a: Value, b: Value, dst: Optional[Reg], flt: bool) -> Reg:
+        dst = dst or (self.freg() if flt else self.ireg())
+        self._emit(Instr(op, dst=dst, a=_as_operand(a), b=_as_operand(b)))
+        return dst
+
+    def iadd(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a + b (int64)."""
+        return self._binop(Opcode.IADD, a, b, dst, flt=False)
+
+    def isub(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a - b (int64)."""
+        return self._binop(Opcode.ISUB, a, b, dst, flt=False)
+
+    def imul(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a * b (int64)."""
+        return self._binop(Opcode.IMUL, a, b, dst, flt=False)
+
+    def idiv(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a // b (floor division; b == 0 is guarded; SFU-class)."""
+        return self._binop(Opcode.IDIV, a, b, dst, flt=False)
+
+    def imod(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a % b (sign follows divisor; b == 0 is guarded; SFU-class)."""
+        return self._binop(Opcode.IMOD, a, b, dst, flt=False)
+
+    def imin(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = min(a, b)."""
+        return self._binop(Opcode.IMIN, a, b, dst, flt=False)
+
+    def imax(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = max(a, b)."""
+        return self._binop(Opcode.IMAX, a, b, dst, flt=False)
+
+    def iand(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a & b."""
+        return self._binop(Opcode.IAND, a, b, dst, flt=False)
+
+    def ior(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a | b."""
+        return self._binop(Opcode.IOR, a, b, dst, flt=False)
+
+    def ixor(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a ^ b."""
+        return self._binop(Opcode.IXOR, a, b, dst, flt=False)
+
+    def ishl(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a << b."""
+        return self._binop(Opcode.ISHL, a, b, dst, flt=False)
+
+    def ishr(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a >> b (arithmetic)."""
+        return self._binop(Opcode.ISHR, a, b, dst, flt=False)
+
+    def fadd(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a + b (float64)."""
+        return self._binop(Opcode.FADD, a, b, dst, flt=True)
+
+    def fsub(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a - b (float64)."""
+        return self._binop(Opcode.FSUB, a, b, dst, flt=True)
+
+    def fmul(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a * b (float64)."""
+        return self._binop(Opcode.FMUL, a, b, dst, flt=True)
+
+    def fdiv(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a / b (b == 0.0 is guarded; SFU-class)."""
+        return self._binop(Opcode.FDIV, a, b, dst, flt=True)
+
+    def fmin(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = min(a, b) (float64)."""
+        return self._binop(Opcode.FMIN, a, b, dst, flt=True)
+
+    def fmax(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = max(a, b) (float64)."""
+        return self._binop(Opcode.FMAX, a, b, dst, flt=True)
+
+    def _unop(self, op: Opcode, a: Value, dst: Optional[Reg], flt: bool) -> Reg:
+        dst = dst or (self.freg() if flt else self.ireg())
+        self._emit(Instr(op, dst=dst, a=_as_operand(a)))
+        return dst
+
+    def ineg(self, a: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = -a."""
+        return self._unop(Opcode.INEG, a, dst, flt=False)
+
+    def inot(self, a: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = ~a."""
+        return self._unop(Opcode.INOT, a, dst, flt=False)
+
+    def fneg(self, a: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = -a (float64)."""
+        return self._unop(Opcode.FNEG, a, dst, flt=True)
+
+    def fsqrt(self, a: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = sqrt(|a|) (SFU-class)."""
+        return self._unop(Opcode.FSQRT, a, dst, flt=True)
+
+    def fabs(self, a: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = |a| (float64)."""
+        return self._unop(Opcode.FABS, a, dst, flt=True)
+
+    def mov(self, a: Value, dst: Optional[Reg] = None) -> Reg:
+        """Copy an int value / immediate into an int register."""
+        return self._unop(Opcode.MOV, a, dst, flt=False)
+
+    def fmov(self, a: Value, dst: Optional[Reg] = None) -> Reg:
+        """Copy a float value / immediate into a float register."""
+        return self._unop(Opcode.FMOV, a, dst, flt=True)
+
+    def itof(self, a: Value, dst: Optional[Reg] = None) -> Reg:
+        """Convert int64 to float64."""
+        return self._unop(Opcode.ITOF, a, dst, flt=True)
+
+    def ftoi(self, a: Value, dst: Optional[Reg] = None) -> Reg:
+        """Convert float64 to int64 (truncation)."""
+        return self._unop(Opcode.FTOI, a, dst, flt=False)
+
+    # ------------------------------------------------------------------
+    # Comparisons and select
+    # ------------------------------------------------------------------
+    def _setp(self, cmp: Cmp, a: Value, b: Value, flt: bool, dst: Optional[Reg]) -> Reg:
+        dst = dst or self.ireg()
+        op = Opcode.FSETP if flt else Opcode.SETP
+        self._emit(Instr(op, dst=dst, a=_as_operand(a), b=_as_operand(b), cmp=cmp))
+        return dst
+
+    def lt(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """Predicate: a < b (int compare; 1/0 into an int register)."""
+        return self._setp(Cmp.LT, a, b, False, dst)
+
+    def le(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """Predicate: a <= b."""
+        return self._setp(Cmp.LE, a, b, False, dst)
+
+    def gt(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """Predicate: a > b."""
+        return self._setp(Cmp.GT, a, b, False, dst)
+
+    def ge(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """Predicate: a >= b."""
+        return self._setp(Cmp.GE, a, b, False, dst)
+
+    def eq(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """Predicate: a == b."""
+        return self._setp(Cmp.EQ, a, b, False, dst)
+
+    def ne(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """Predicate: a != b."""
+        return self._setp(Cmp.NE, a, b, False, dst)
+
+    def flt_(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """Predicate: a < b (float compare)."""
+        return self._setp(Cmp.LT, a, b, True, dst)
+
+    def fgt_(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """Predicate: a > b (float compare)."""
+        return self._setp(Cmp.GT, a, b, True, dst)
+
+    def fge_(self, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """Predicate: a >= b (float compare)."""
+        return self._setp(Cmp.GE, a, b, True, dst)
+
+    def selp(self, cond: Value, a: Value, b: Value, dst: Optional[Reg] = None) -> Reg:
+        """dst = a if cond != 0 else b (int bank, branch-free)."""
+        dst = dst or self.ireg()
+        self._emit(
+            Instr(
+                Opcode.SELP,
+                dst=dst,
+                a=_as_operand(a),
+                b=_as_operand(b),
+                c=_as_operand(cond),
+            )
+        )
+        return dst
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def ld(self, addr: Value, offset: int = 0, dst: Optional[Reg] = None) -> Reg:
+        """Load an int64 word from global memory at ``addr + offset``."""
+        dst = dst or self.ireg()
+        self._emit(Instr(Opcode.LD, dst=dst, a=_as_operand(addr), offset=offset))
+        return dst
+
+    def st(self, addr: Value, value: Value, offset: int = 0) -> None:
+        """Store an int64 word to global memory at ``addr + offset``."""
+        self._emit(
+            Instr(Opcode.ST, a=_as_operand(addr), b=_as_operand(value), offset=offset)
+        )
+
+    def fld(self, addr: Value, offset: int = 0, dst: Optional[Reg] = None) -> Reg:
+        """Load a float64 word from global memory."""
+        dst = dst or self.freg()
+        self._emit(Instr(Opcode.FLD, dst=dst, a=_as_operand(addr), offset=offset))
+        return dst
+
+    def fst(self, addr: Value, value: Value, offset: int = 0) -> None:
+        """Store a float64 word to global memory."""
+        self._emit(
+            Instr(Opcode.FST, a=_as_operand(addr), b=_as_operand(value), offset=offset)
+        )
+
+    def lds(self, addr: Value, offset: int = 0, dst: Optional[Reg] = None) -> Reg:
+        """Load an int64 word from the block's shared memory."""
+        dst = dst or self.ireg()
+        self._emit(Instr(Opcode.LDS, dst=dst, a=_as_operand(addr), offset=offset))
+        return dst
+
+    def sts(self, addr: Value, value: Value, offset: int = 0) -> None:
+        """Store an int64 word to the block's shared memory."""
+        self._emit(
+            Instr(Opcode.STS, a=_as_operand(addr), b=_as_operand(value), offset=offset)
+        )
+
+    def ldl(self, offset_expr: Value, offset: int = 0, dst: Optional[Reg] = None) -> Reg:
+        """Load a word from per-thread local memory (L1-cached)."""
+        dst = dst or self.ireg()
+        self._emit(Instr(Opcode.LDL, dst=dst, a=_as_operand(offset_expr), offset=offset))
+        return dst
+
+    def stl(self, offset_expr: Value, value: Value, offset: int = 0) -> None:
+        """Store a word to per-thread local memory."""
+        self._emit(
+            Instr(
+                Opcode.STL, a=_as_operand(offset_expr), b=_as_operand(value), offset=offset
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Warp-level primitives
+    # ------------------------------------------------------------------
+    def shfl_idx(self, value: Value, lane: Value, dst: Optional[Reg] = None) -> Reg:
+        """Read ``value`` from the lane selected per-thread by ``lane``."""
+        dst = dst or self.ireg()
+        self._emit(
+            Instr(Opcode.SHFL_IDX, dst=dst, a=_as_operand(value), b=_as_operand(lane))
+        )
+        return dst
+
+    def shfl_down(self, value: Value, delta: int, dst: Optional[Reg] = None) -> Reg:
+        """Read ``value`` from lane + delta (identity past the warp end)."""
+        dst = dst or self.ireg()
+        self._emit(
+            Instr(Opcode.SHFL_DOWN, dst=dst, a=_as_operand(value), b=_as_operand(delta))
+        )
+        return dst
+
+    def vote_any(self, pred: Value, dst: Optional[Reg] = None) -> Reg:
+        dst = dst or self.ireg()
+        self._emit(Instr(Opcode.VOTE_ANY, dst=dst, a=_as_operand(pred)))
+        return dst
+
+    def vote_all(self, pred: Value, dst: Optional[Reg] = None) -> Reg:
+        dst = dst or self.ireg()
+        self._emit(Instr(Opcode.VOTE_ALL, dst=dst, a=_as_operand(pred)))
+        return dst
+
+    def ballot(self, pred: Value, dst: Optional[Reg] = None) -> Reg:
+        """Bitmask of active lanes whose predicate is non-zero."""
+        dst = dst or self.ireg()
+        self._emit(Instr(Opcode.VOTE_BALLOT, dst=dst, a=_as_operand(pred)))
+        return dst
+
+    def atom_add(self, addr: Value, value: Value, dst: Optional[Reg] = None) -> Reg:
+        return self._atom(Opcode.ATOM_ADD, addr, value, dst)
+
+    def atom_min(self, addr: Value, value: Value, dst: Optional[Reg] = None) -> Reg:
+        return self._atom(Opcode.ATOM_MIN, addr, value, dst)
+
+    def atom_max(self, addr: Value, value: Value, dst: Optional[Reg] = None) -> Reg:
+        return self._atom(Opcode.ATOM_MAX, addr, value, dst)
+
+    def atom_or(self, addr: Value, value: Value, dst: Optional[Reg] = None) -> Reg:
+        return self._atom(Opcode.ATOM_OR, addr, value, dst)
+
+    def atom_exch(self, addr: Value, value: Value, dst: Optional[Reg] = None) -> Reg:
+        return self._atom(Opcode.ATOM_EXCH, addr, value, dst)
+
+    def atom_cas(
+        self, addr: Value, compare: Value, value: Value, dst: Optional[Reg] = None
+    ) -> Reg:
+        """Atomic compare-and-swap; returns the old value."""
+        dst = dst or self.ireg()
+        self._emit(
+            Instr(
+                Opcode.ATOM_CAS,
+                dst=dst,
+                a=_as_operand(addr),
+                b=_as_operand(compare),
+                c=_as_operand(value),
+            )
+        )
+        return dst
+
+    def _atom(self, op: Opcode, addr: Value, value: Value, dst: Optional[Reg]) -> Reg:
+        dst = dst or self.ireg()
+        self._emit(Instr(op, dst=dst, a=_as_operand(addr), b=_as_operand(value)))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Control flow (structured; reconvergence points auto-inserted)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def if_(self, pred: Reg) -> Iterator[None]:
+        """Execute the body only for lanes where ``pred`` is non-zero."""
+        end = self._fresh_label("Lend")
+        self._emit(
+            Instr(Opcode.BRA, target=end, pred=pred, pred_sense=False, reconv=end)
+        )
+        yield
+        self.program.label(end)
+        self._emit(Instr(Opcode.JOIN))
+
+    def if_else(
+        self,
+        pred: Reg,
+        then_fn: Callable[[], None],
+        else_fn: Callable[[], None],
+    ) -> None:
+        """Two-way divergence with a common reconvergence point."""
+        else_label = self._fresh_label("Lelse")
+        end = self._fresh_label("Lend")
+        self._emit(
+            Instr(Opcode.BRA, target=else_label, pred=pred, pred_sense=False, reconv=end)
+        )
+        then_fn()
+        self._emit(Instr(Opcode.BRA, target=end))
+        self.program.label(else_label)
+        else_fn()
+        self.program.label(end)
+        self._emit(Instr(Opcode.JOIN))
+
+    @contextmanager
+    def while_(self, cond_fn: Callable[[], Reg]) -> Iterator[None]:
+        """Loop while the predicate produced by ``cond_fn`` is non-zero.
+
+        ``cond_fn`` is invoked once at build time and must *emit* the
+        condition computation (it runs at the loop head every iteration).
+        """
+        head = self._fresh_label("Lwhile")
+        end = self._fresh_label("Lwend")
+        self.program.label(head)
+        pred = cond_fn()
+        self._emit(
+            Instr(Opcode.BRA, target=end, pred=pred, pred_sense=False, reconv=end)
+        )
+        yield
+        self._emit(Instr(Opcode.BRA, target=head))
+        self.program.label(end)
+        self._emit(Instr(Opcode.JOIN))
+
+    @contextmanager
+    def for_range(self, start: Value, stop: Value, step: int = 1) -> Iterator[Reg]:
+        """``for i in range(start, stop, step)`` over a fresh register."""
+        if step <= 0:
+            raise AssemblyError("for_range step must be a positive constant")
+        i = self.mov(start)
+        head = self._fresh_label("Lfor")
+        end = self._fresh_label("Lfend")
+        self.program.label(head)
+        pred = self.lt(i, stop)
+        self._emit(
+            Instr(Opcode.BRA, target=end, pred=pred, pred_sense=False, reconv=end)
+        )
+        yield i
+        self.iadd(i, step, dst=i)
+        self._emit(Instr(Opcode.BRA, target=head))
+        self.program.label(end)
+        self._emit(Instr(Opcode.JOIN))
+
+    def bar(self) -> None:
+        """Block-wide barrier (``__syncthreads``)."""
+        self._emit(Instr(Opcode.BAR))
+
+    def exit(self) -> None:
+        """Terminate the warp (end of kernel)."""
+        self._emit(Instr(Opcode.EXIT))
+
+    def nop(self) -> None:
+        """No operation (one issue slot)."""
+        self._emit(Instr(Opcode.NOP))
+
+    # ------------------------------------------------------------------
+    # Device runtime
+    # ------------------------------------------------------------------
+    def stream_create(self, dst: Optional[Reg] = None) -> Reg:
+        """cudaStreamCreateWithFlags (CDP only; Table 3 flat cost)."""
+        dst = dst or self.ireg()
+        self._emit(Instr(Opcode.STREAM_CREATE, dst=dst))
+        return dst
+
+    def get_param_buffer(self, size_words: int, dst: Optional[Reg] = None) -> Reg:
+        """cudaGetParameterBuffer: per-thread parameter buffer allocation."""
+        if size_words <= 0:
+            raise AssemblyError("parameter buffer size must be positive")
+        dst = dst or self.ireg()
+        self._emit(Instr(Opcode.GET_PARAM_BUF, dst=dst, size=size_words))
+        return dst
+
+    def launch_device(
+        self,
+        kernel: str,
+        param: Reg,
+        grid: Union[int, Value, Sequence[Value]],
+        block: Union[int, Value, Sequence[Value]],
+    ) -> None:
+        """cudaLaunchDevice: CDP device-side kernel launch."""
+        self._emit(
+            Instr(
+                Opcode.LAUNCH_DEVICE,
+                a=param,
+                kernel=kernel,
+                grid_dims=_dims3(grid),
+                block_dims=_dims3(block),
+            )
+        )
+
+    def launch_agg(
+        self,
+        kernel: str,
+        param: Reg,
+        agg: Union[int, Value, Sequence[Value]],
+        block: Union[int, Value, Sequence[Value]],
+    ) -> None:
+        """cudaLaunchAggGroup: DTBL aggregated-group launch."""
+        self._emit(
+            Instr(
+                Opcode.LAUNCH_AGG,
+                a=param,
+                kernel=kernel,
+                grid_dims=_dims3(agg),
+                block_dims=_dims3(block),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finalize and return the program (idempotent)."""
+        if self._built is None:
+            self._built = self.program.finalize()
+        return self._built
+
+    @property
+    def register_demand(self) -> Tuple[int, int]:
+        """(int, float) registers allocated so far."""
+        highest = self.program.max_register_index()
+        return highest["int"] + 1, highest["flt"] + 1

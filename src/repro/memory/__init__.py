@@ -1,0 +1,15 @@
+"""Simulated memory hierarchy: global memory, coalescer, caches, DRAM."""
+
+from .global_memory import GlobalMemory
+from .coalescing import coalesce_addresses, CoalescingStats
+from .cache import Cache
+from .dram import DramController, MemorySubsystem
+
+__all__ = [
+    "Cache",
+    "CoalescingStats",
+    "DramController",
+    "GlobalMemory",
+    "MemorySubsystem",
+    "coalesce_addresses",
+]

@@ -1,0 +1,65 @@
+"""The per-warp memory coalescing unit.
+
+A warp's 32 lane addresses are mapped to 128-byte aligned segments; each
+distinct segment becomes one memory transaction.  Consecutive word
+addresses across the warp therefore coalesce into the minimum number of
+transactions, while scattered addresses produce up to one transaction per
+active lane — exactly the *memory divergence* behaviour the paper's flat
+implementations suffer from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import SEGMENT_WORDS, WARP_SIZE
+
+
+@dataclass
+class CoalescingStats:
+    """Aggregate coalescer counters for one simulation run."""
+
+    #: Warp-level memory instructions processed.
+    warp_accesses: int = 0
+    #: Total transactions (segments) generated.
+    transactions: int = 0
+    #: Total active lanes across all processed accesses.
+    lanes: int = 0
+    #: Histogram of transactions-per-access, index = transaction count.
+    histogram: np.ndarray = field(
+        default_factory=lambda: np.zeros(WARP_SIZE + 1, dtype=np.int64)
+    )
+
+    def record(self, lanes: int, transactions: int) -> None:
+        self.warp_accesses += 1
+        self.transactions += transactions
+        self.lanes += lanes
+        if transactions <= WARP_SIZE:
+            self.histogram[transactions] += 1
+
+    @property
+    def average_transactions(self) -> float:
+        """Mean transactions per warp memory access (1.0–2.0 is coalesced
+        for 8-byte words; 32 is fully divergent)."""
+        if not self.warp_accesses:
+            return 0.0
+        return self.transactions / self.warp_accesses
+
+
+def coalesce_addresses(addresses: np.ndarray) -> np.ndarray:
+    """Map active-lane word addresses to unique 128-byte segment ids.
+
+    Parameters
+    ----------
+    addresses:
+        int64 array of the word addresses of the *active* lanes only.
+
+    Returns
+    -------
+    Sorted array of distinct segment indices (segment = addr // 16 words).
+    """
+    if addresses.size == 0:
+        return addresses
+    return np.unique(addresses // SEGMENT_WORDS)

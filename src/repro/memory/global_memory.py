@@ -1,0 +1,120 @@
+"""Functional global memory: a flat word-addressable store with an allocator.
+
+One word is 8 bytes and is visible both as an ``int64`` and as a ``float64``
+through two NumPy views of the same buffer, so integer indices/flags and
+floating-point payloads can share one address space exactly like a real
+GPU's global memory.
+
+Addresses used throughout the simulator are *word* indices into this store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import WORD_BYTES
+from ..errors import MemoryError_
+
+
+class GlobalMemory:
+    """Flat global memory with a bump allocator.
+
+    Parameters
+    ----------
+    size_words:
+        Capacity of the store in 8-byte words.  The default (4 Mi words =
+        32 MB) is ample for the scaled-down workloads.
+    """
+
+    def __init__(self, size_words: int = 4 * 1024 * 1024) -> None:
+        if size_words <= 0:
+            raise MemoryError_("global memory size must be positive")
+        self.size_words = int(size_words)
+        self._buffer = np.zeros(self.size_words, dtype=np.int64)
+        #: Integer view of the store (int64 per word).
+        self.i = self._buffer
+        #: Float view of the same bytes (float64 per word).
+        self.f = self._buffer.view(np.float64)
+        # Word 0 is reserved so that address 0 can act as a null pointer.
+        self._next_free = 1
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, words: int) -> int:
+        """Allocate ``words`` consecutive words; returns the base address."""
+        if words <= 0:
+            raise MemoryError_(f"allocation size must be positive, got {words}")
+        base = self._next_free
+        if base + words > self.size_words:
+            raise MemoryError_(
+                f"out of simulated global memory: requested {words} words, "
+                f"{self.size_words - base} free"
+            )
+        self._next_free = base + words
+        return base
+
+    def alloc_array(self, values: np.ndarray) -> int:
+        """Allocate and initialize from an int or float array."""
+        arr = np.asarray(values)
+        base = self.alloc(arr.size)
+        if np.issubdtype(arr.dtype, np.floating):
+            self.f[base : base + arr.size] = arr.ravel()
+        else:
+            self.i[base : base + arr.size] = arr.ravel()
+        return base
+
+    @property
+    def words_in_use(self) -> int:
+        """Words handed out by the allocator so far."""
+        return self._next_free
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self.words_in_use * WORD_BYTES
+
+    # ------------------------------------------------------------------
+    # Bounds-checked scalar access (host-side convenience; the warp engine
+    # uses the raw views for speed after a vectorized bounds check).
+    # ------------------------------------------------------------------
+    def read_int(self, addr: int) -> int:
+        self.check_range(addr, 1)
+        return int(self.i[addr])
+
+    def write_int(self, addr: int, value: int) -> None:
+        self.check_range(addr, 1)
+        self.i[addr] = value
+
+    def read_float(self, addr: int) -> float:
+        self.check_range(addr, 1)
+        return float(self.f[addr])
+
+    def write_float(self, addr: int, value: float) -> None:
+        self.check_range(addr, 1)
+        self.f[addr] = value
+
+    def read_ints(self, addr: int, count: int) -> np.ndarray:
+        self.check_range(addr, count)
+        return self.i[addr : addr + count].copy()
+
+    def write_ints(self, addr: int, values: np.ndarray) -> None:
+        arr = np.asarray(values, dtype=np.int64)
+        self.check_range(addr, arr.size)
+        self.i[addr : addr + arr.size] = arr
+
+    def read_floats(self, addr: int, count: int) -> np.ndarray:
+        self.check_range(addr, count)
+        return self.f[addr : addr + count].copy()
+
+    def write_floats(self, addr: int, values: np.ndarray) -> None:
+        arr = np.asarray(values, dtype=np.float64)
+        self.check_range(addr, arr.size)
+        self.f[addr : addr + arr.size] = arr
+
+    def check_range(self, addr: int, count: int = 1) -> None:
+        """Raise :class:`MemoryError_` unless [addr, addr+count) is valid."""
+        if addr < 0 or addr + count > self.size_words:
+            raise MemoryError_(
+                f"global memory access out of range: addr={addr} count={count} "
+                f"size={self.size_words}"
+            )

@@ -1,0 +1,7 @@
+"""Host-side runtime: execution modes and the user-facing Device API."""
+
+from .modes import ExecutionMode
+from .host_api import Device
+from .sugar import HostKernel, bind
+
+__all__ = ["Device", "ExecutionMode", "HostKernel", "bind"]

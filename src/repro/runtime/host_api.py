@@ -1,0 +1,136 @@
+"""The user-facing Device API.
+
+A :class:`Device` wraps one :class:`~repro.sim.gpu.GPU` instance with a
+CUDA-runtime-flavoured host interface: memory allocation, host/device
+copies, kernel registration, launches, and synchronization.
+
+Example
+-------
+::
+
+    from repro import Device, ExecutionMode
+
+    dev = Device(mode=ExecutionMode.DTBL)
+    dev.register(my_kernel_function)
+    data = dev.upload(np.arange(1024))
+    dev.launch("my_kernel", grid=4, block=256, params=[data, 1024])
+    dev.synchronize()
+    print(dev.stats.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..config import GPUConfig, LatencyModel
+from ..sim.gpu import GPU
+from ..sim.kernel import KernelFunction
+from ..sim.stats import SimStats
+from .modes import ExecutionMode
+
+
+class Device:
+    """A simulated GPU device with a host-API surface."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        mode: ExecutionMode = ExecutionMode.FLAT,
+        latency: Optional[LatencyModel] = None,
+        memory_words: int = 4 * 1024 * 1024,
+    ) -> None:
+        self.mode = mode
+        self.gpu = GPU(
+            config=config,
+            latency=latency if latency is not None else mode.latency_model(),
+            memory_words=memory_words,
+        )
+        self._events: dict = {}
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def alloc(self, words: int) -> int:
+        """cudaMalloc: allocate ``words`` 8-byte words; returns the address."""
+        return self.gpu.memory.alloc(words)
+
+    def upload(self, values: np.ndarray) -> int:
+        """Allocate and copy a host array to the device; returns the address."""
+        return self.gpu.memory.alloc_array(np.asarray(values))
+
+    def download_ints(self, addr: int, count: int) -> np.ndarray:
+        return self.gpu.memory.read_ints(addr, count)
+
+    def download_floats(self, addr: int, count: int) -> np.ndarray:
+        return self.gpu.memory.read_floats(addr, count)
+
+    def write_int(self, addr: int, value: int) -> None:
+        self.gpu.memory.write_int(addr, value)
+
+    def read_int(self, addr: int) -> int:
+        return self.gpu.memory.read_int(addr)
+
+    def memset(self, addr: int, value: int, words: int) -> None:
+        """cudaMemset (word-granular): fill [addr, addr+words) with value."""
+        self.gpu.memory.check_range(addr, words)
+        self.gpu.memory.i[addr : addr + words] = value
+
+    def copy_device(self, dst: int, src: int, words: int) -> None:
+        """cudaMemcpyDeviceToDevice (word-granular)."""
+        memory = self.gpu.memory
+        memory.check_range(src, words)
+        memory.check_range(dst, words)
+        memory.i[dst : dst + words] = memory.i[src : src + words].copy()
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def register(self, func: KernelFunction) -> KernelFunction:
+        return self.gpu.register_kernel(func)
+
+    def launch(
+        self,
+        kernel_name: str,
+        grid,
+        block,
+        params: Sequence[Union[int, float]] = (),
+        stream: int = 0,
+    ) -> int:
+        """Host-side kernel launch; returns the parameter buffer address."""
+        return self.gpu.host_launch(kernel_name, grid, block, params, stream)
+
+    def synchronize(self, max_cycles: Optional[int] = 200_000_000) -> SimStats:
+        """cudaDeviceSynchronize: run the simulation until the GPU drains."""
+        return self.gpu.run(max_cycles=max_cycles)
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach an execution tracer (see :mod:`repro.sim.tracing`)."""
+        self.gpu.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Events (cudaEvent-style cycle markers; host API is synchronous, so
+    # record after the synchronize whose span you want to measure)
+    # ------------------------------------------------------------------
+    def record_event(self, name: str) -> int:
+        """Record the current simulated cycle under ``name``."""
+        cycle = self.gpu.cycle
+        self._events[name] = cycle
+        return cycle
+
+    def elapsed_cycles(self, start: str, end: str) -> int:
+        """Cycles between two recorded events (cudaEventElapsedTime)."""
+        try:
+            return self._events[end] - self._events[start]
+        except KeyError as exc:
+            raise KeyError(f"event {exc.args[0]!r} was never recorded") from None
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SimStats:
+        return self.gpu.stats
+
+    @property
+    def cycles(self) -> int:
+        return self.gpu.cycle

@@ -1,0 +1,60 @@
+"""Execution modes evaluated in the paper (Section 5).
+
+* ``FLAT`` — the original implementation: nested parallelism flattened and
+  serialized within each thread.
+* ``CDP`` / ``CDP_IDEAL`` — device-side *kernel* launches (CUDA Dynamic
+  Parallelism), with measured / zero launch latencies.
+* ``DTBL`` / ``DTBL_IDEAL`` — the paper's aggregated-group launches, with
+  measured / zero launch latencies.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..config import LatencyModel
+
+
+class ExecutionMode(enum.Enum):
+    FLAT = "flat"
+    CDP = "cdp"
+    CDP_IDEAL = "cdpi"
+    DTBL = "dtbl"
+    DTBL_IDEAL = "dtbli"
+
+    @property
+    def uses_cdp(self) -> bool:
+        return self in (ExecutionMode.CDP, ExecutionMode.CDP_IDEAL)
+
+    @property
+    def uses_dtbl(self) -> bool:
+        return self in (ExecutionMode.DTBL, ExecutionMode.DTBL_IDEAL)
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self is not ExecutionMode.FLAT
+
+    @property
+    def ideal(self) -> bool:
+        return self in (ExecutionMode.CDP_IDEAL, ExecutionMode.DTBL_IDEAL)
+
+    def latency_model(self, scale: float = 1.0) -> LatencyModel:
+        """The launch-latency model this mode runs under.
+
+        ``scale`` < 1 shrinks the measured Table 3 launch latencies for
+        scaled-down workloads (see :meth:`LatencyModel.scaled`); it has no
+        effect on the ideal modes, which are all-zero by definition.
+        """
+        if self.ideal:
+            return LatencyModel.ideal()
+        model = LatencyModel.measured_k20c()
+        if scale != 1.0:
+            model = model.scaled(scale)
+        return model
+
+    @classmethod
+    def from_name(cls, name: str) -> "ExecutionMode":
+        for mode in cls:
+            if mode.value == name.lower():
+                return mode
+        raise ValueError(f"unknown execution mode {name!r}")

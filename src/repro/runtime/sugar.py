@@ -1,0 +1,83 @@
+"""CUDA-style host launch syntax.
+
+The paper leaves a ``<<<grid, block>>>``-like surface as future work
+(Section 5.1); this module provides the host-side equivalent for the
+simulator: a :class:`HostKernel` bound to a device supports
+``kernel[grid, block](*params)``, mirroring Numba/CUDA-Python syntax.
+
+Example::
+
+    from repro.runtime.sugar import bind
+
+    saxpy = bind(device, saxpy_func)
+    saxpy[16, 256](n, a, x_addr, y_addr, out_addr)
+    device.synchronize()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from ..errors import LaunchError
+from ..sim.kernel import KernelFunction
+from .host_api import Device
+
+Dims = Union[int, Sequence[int]]
+
+
+class ConfiguredLaunch:
+    """A kernel with launch geometry chosen; call it with parameters."""
+
+    __slots__ = ("_device", "_name", "_grid", "_block", "_stream")
+
+    def __init__(self, device: Device, name: str, grid: Dims, block: Dims, stream: int) -> None:
+        self._device = device
+        self._name = name
+        self._grid = grid
+        self._block = block
+        self._stream = stream
+
+    def __call__(self, *params: Union[int, float]) -> int:
+        """Launch; returns the parameter-buffer address."""
+        return self._device.launch(
+            self._name, grid=self._grid, block=self._block,
+            params=list(params), stream=self._stream,
+        )
+
+
+class HostKernel:
+    """A registered kernel with ``kernel[grid, block]`` launch syntax."""
+
+    __slots__ = ("_device", "_func")
+
+    def __init__(self, device: Device, func: KernelFunction) -> None:
+        self._device = device
+        self._func = func
+
+    @property
+    def name(self) -> str:
+        return self._func.name
+
+    def __getitem__(self, config: Tuple) -> ConfiguredLaunch:
+        if not isinstance(config, tuple) or not 2 <= len(config) <= 3:
+            raise LaunchError(
+                "launch configuration must be kernel[grid, block] or "
+                "kernel[grid, block, stream]"
+            )
+        grid, block = config[0], config[1]
+        stream = config[2] if len(config) == 3 else 0
+        return ConfiguredLaunch(self._device, self._func.name, grid, block, stream)
+
+    def __repr__(self) -> str:
+        return f"<HostKernel {self._func.name!r}>"
+
+
+def bind(device: Device, func: KernelFunction) -> HostKernel:
+    """Register ``func`` on ``device`` (if new) and return the sugar handle."""
+    if func.name not in device.gpu.kernels:
+        device.register(func)
+    elif device.gpu.kernels[func.name] is not func:
+        raise LaunchError(
+            f"a different kernel named {func.name!r} is already registered"
+        )
+    return HostKernel(device, func)

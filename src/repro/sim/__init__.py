@@ -1,0 +1,15 @@
+"""Cycle-level GPU simulator (GK110/Kepler-like baseline, Section 2)."""
+
+from .kernel import KernelFunction, LaunchDims, dims_total
+from .stats import LaunchKind, LaunchRecord, SimStats
+from .gpu import GPU
+
+__all__ = [
+    "GPU",
+    "KernelFunction",
+    "LaunchDims",
+    "LaunchKind",
+    "LaunchRecord",
+    "SimStats",
+    "dims_total",
+]

@@ -1,0 +1,94 @@
+"""Human-readable snapshots of simulator state, for debugging stuck or
+surprising simulations.
+
+``dump_state(gpu)`` renders the Kernel Distributor, the FCFS queue, each
+SMX's resources and resident blocks, the AGT occupancy, the KMU queues,
+and the headline statistics — the view you want when a simulation
+deadlocks or a scheduling decision looks wrong.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .gpu import GPU
+
+
+def dump_state(gpu: "GPU") -> str:
+    """Render the full machine state as text."""
+    lines: List[str] = [f"=== GPU state @ cycle {gpu.cycle} ==="]
+
+    # Kernel Distributor.
+    entries = gpu.distributor.active_entries()
+    lines.append(
+        f"Kernel Distributor: {gpu.distributor.occupied}/"
+        f"{gpu.distributor.num_entries} entries "
+        f"(peak {gpu.distributor.peak_occupied})"
+    )
+    for entry in entries:
+        groups = entry.pending_groups()
+        lines.append(
+            f"  [{entry.index:2d}] {entry.func.name:<18s} "
+            f"native {entry.next_block}/{entry.total_blocks} "
+            f"exe={entry.exe_blocks} agg_exe={entry.agg_exe_blocks} "
+            f"pending_groups={groups} "
+            f"{'MARKED' if entry.marked else 'unmarked'}"
+        )
+
+    # FCFS queue.
+    queue = list(gpu.scheduler.fcfs)
+    lines.append(
+        "FCFS queue: "
+        + (" -> ".join(f"{e.func.name}[{e.index}]" for e in queue) or "(empty)")
+    )
+
+    # AGT.
+    agt = gpu.scheduler.agt
+    lines.append(
+        f"AGT: {agt.occupied}/{agt.size} occupied (peak {agt.peak_occupied}); "
+        f"hash hits {gpu.stats.agt_hash_hits}, spills {gpu.stats.agt_hash_spills}"
+    )
+
+    # KMU.
+    lines.append(
+        f"KMU: {len(gpu.kmu.device_pending)} device kernels pending, "
+        f"{sum(len(h.pending) for h in gpu.kmu.host_queues.hwqs)} host launches queued"
+    )
+
+    # SMXs.
+    for smx in gpu.smxs:
+        if not smx.blocks and smx.free_blocks == gpu.config.max_resident_blocks:
+            continue
+        lines.append(
+            f"SMX {smx.smx_id}: {len(smx.blocks)} blocks, "
+            f"{smx.resident_warps} warps resident; free: "
+            f"threads={smx.free_threads} regs={smx.free_regs} "
+            f"shared={smx.free_shared}B slots={smx.free_warp_slots}"
+        )
+        for tb in smx.blocks:
+            kind = "agg" if tb.age is not None else "native"
+            lines.append(
+                f"    {tb.func.name} block {tb.block_linear_index} ({kind}), "
+                f"{tb.alive_warps}/{len(tb.warps)} warps alive"
+            )
+
+    # Stats snapshot.
+    lines.append("Stats: " + ", ".join(
+        f"{key}={value if not isinstance(value, float) else round(value, 3)}"
+        for key, value in gpu.stats.summary().items()
+    ))
+    return "\n".join(lines)
+
+
+def dump_warp(warp) -> str:
+    """Render one warp's SIMT stack and status."""
+    lines = [
+        f"warp slot={warp.context_slot} block={warp.tb.block_linear_index} "
+        f"kernel={warp.tb.func.name} ready@{warp.ready_cycle} "
+        f"{'FINISHED' if warp.finished else ''}{'BARRIER' if warp.at_barrier else ''}"
+    ]
+    for depth, (pc, rpc, mask) in enumerate(warp.stack):
+        active = int(mask.sum())
+        lines.append(f"  frame[{depth}] pc={pc} rpc={rpc} active={active}/32")
+    return "\n".join(lines)

@@ -1,0 +1,250 @@
+"""Top-level GPU model: ties SMXs, KMU, Kernel Distributor, SMX scheduler,
+memory system and the device runtime together and runs the simulation.
+
+Timing advances with an event-driven cycle loop: the GPU only visits
+cycles at which something can happen (a warp becomes ready, an event
+fires), fast-forwarding across idle gaps while integrating the occupancy
+statistic over the skipped interval.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..config import GPUConfig, LatencyModel
+from ..errors import LaunchError, SimulationError
+from ..memory.dram import MemorySubsystem
+from ..memory.global_memory import GlobalMemory
+from .hwq import HostLaunchSpec
+from .kernel import KernelFunction, as_dims
+from .kernel_distributor import KernelDistributor
+from .kmu import DeviceLaunchSpec, KernelManagementUnit
+from .smx import SMX
+from .smx_scheduler import SMXScheduler
+from .stats import LaunchKind, LaunchRecord, SimStats
+
+from ..config import WORD_BYTES
+from ..dtbl.aggregation import AggLaunchRequest
+
+
+class DeviceRuntime:
+    """Device-side runtime services invoked from warp instructions."""
+
+    def __init__(self, gpu: "GPU") -> None:
+        self._gpu = gpu
+        self._stream_counter = itertools.count(1)
+        self._param_sizes: Dict[int, int] = {}
+
+    def create_streams(self, count: int) -> np.ndarray:
+        """Allocate ``count`` device-side stream ids (functional only)."""
+        return np.fromiter(
+            (next(self._stream_counter) for _ in range(count)), dtype=np.int64, count=count
+        )
+
+    def alloc_param_buffers(self, count: int, size_words: int) -> np.ndarray:
+        """cudaGetParameterBuffer for ``count`` lanes of one warp."""
+        memory = self._gpu.memory
+        bases = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            base = memory.alloc(size_words)
+            self._param_sizes[base] = size_words
+            bases[i] = base
+        return bases
+
+    def param_bytes_for(self, param_addr: int) -> int:
+        return self._param_sizes.get(param_addr, 0) * WORD_BYTES
+
+    def submit_device_launches(self, requests: Sequence[tuple], deliver_cycle: int) -> None:
+        """Deliver a warp's cudaLaunchDevice commands to the KMU."""
+        gpu = self._gpu
+
+        def deliver(cycle: int) -> None:
+            for kernel_name, param_addr, grid, block, _hw_tid in requests:
+                func = gpu.kernels[kernel_name]
+                func.validate_block(block, gpu.config.max_resident_threads)
+                blocks = grid[0] * grid[1] * grid[2]
+                threads = blocks * block[0] * block[1] * block[2]
+                record = LaunchRecord(
+                    kind=LaunchKind.DEVICE_KERNEL,
+                    kernel_name=kernel_name,
+                    launch_cycle=cycle,
+                    total_blocks=blocks,
+                    total_threads=threads,
+                    param_bytes=self.param_bytes_for(param_addr),
+                    record_bytes=gpu.config.cdp_pending_kernel_bytes,
+                )
+                gpu.stats.launches.append(record)
+                gpu.stats.add_footprint(record.pending_bytes)
+                gpu.kmu.enqueue_device(
+                    DeviceLaunchSpec(kernel_name, grid, block, param_addr, record)
+                )
+
+        gpu.schedule_event(deliver_cycle, deliver)
+
+    def submit_agg_launches(self, requests: Sequence[tuple], deliver_cycle: int) -> None:
+        """Deliver a warp's aggregation operation command to the scheduler."""
+        gpu = self._gpu
+        agg_requests = [
+            AggLaunchRequest(kernel_name, param_addr, grid, block, hw_tid)
+            for kernel_name, param_addr, grid, block, hw_tid in requests
+        ]
+        for req in agg_requests:
+            gpu.kernels[req.kernel_name].validate_block(
+                req.block_dims, gpu.config.max_resident_threads
+            )
+
+        def deliver(cycle: int) -> None:
+            gpu.scheduler.process_aggregation(agg_requests, cycle)
+
+        gpu.schedule_event(deliver_cycle, deliver)
+
+
+class GPU:
+    """The simulated GPU (Fig. 1 baseline plus the Fig. 4 DTBL extension)."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        latency: Optional[LatencyModel] = None,
+        memory_words: int = 4 * 1024 * 1024,
+    ) -> None:
+        self.config = config or GPUConfig.k20c()
+        self.latency = latency or LatencyModel.measured_k20c()
+        self.memory = GlobalMemory(memory_words)
+        self.memsys = MemorySubsystem(self.config)
+        self.stats = SimStats(self.config)
+        self.stats.dram = self.memsys.dram.stats
+        self.kernels: Dict[str, KernelFunction] = {}
+        self.distributor = KernelDistributor(self.config.max_concurrent_kernels)
+        self.scheduler = SMXScheduler(self)
+        self.kmu = KernelManagementUnit(self)
+        self.runtime = DeviceRuntime(self)
+        self.smxs: List[SMX] = [SMX(i, self) for i in range(self.config.num_smx)]
+        self.cycle = 0
+        #: Optional execution tracer (see :mod:`repro.sim.tracing`).
+        self.tracer = None
+        #: Resident, unfinished warps across all SMXs (occupancy integral).
+        self.active_warps = 0
+        self._events: list = []
+        self._event_seq = itertools.count()
+        # Per-SMX local-memory arenas, allocated lazily on first use.
+        self._local_arenas: List[Optional[int]] = [None] * self.config.num_smx
+
+    def local_arena_base(self, smx_id: int) -> int:
+        """Base address of an SMX's local-memory arena (lazy allocation).
+
+        The arena holds ``max_local_words`` words for every potential
+        resident thread, laid out interleaved (word w of all threads is
+        contiguous) as CUDA local memory is.
+        """
+        base = self._local_arenas[smx_id]
+        if base is None:
+            words = self.config.max_resident_threads * self.config.max_local_words
+            base = self.memory.alloc(words)
+            self._local_arenas[smx_id] = base
+        return base
+
+    # ------------------------------------------------------------------
+    # Kernel registration and host-side launching
+    # ------------------------------------------------------------------
+    def register_kernel(self, func: KernelFunction) -> KernelFunction:
+        if func.name in self.kernels:
+            raise LaunchError(f"kernel {func.name!r} is already registered")
+        self.kernels[func.name] = func
+        return func
+
+    def write_params(self, values: Sequence[Union[int, float]]) -> int:
+        """Allocate a parameter buffer and fill it with typed values."""
+        if not values:
+            return 0
+        base = self.memory.alloc(len(values))
+        for i, value in enumerate(values):
+            if isinstance(value, float):
+                self.memory.f[base + i] = value
+            else:
+                self.memory.i[base + i] = int(value)
+        return base
+
+    def host_launch(
+        self,
+        kernel_name: str,
+        grid,
+        block,
+        params: Sequence[Union[int, float]] = (),
+        stream: int = 0,
+    ) -> int:
+        """Launch a kernel from the host; returns the parameter address."""
+        if kernel_name not in self.kernels:
+            raise LaunchError(f"unknown kernel {kernel_name!r}")
+        grid_dims = as_dims(grid)
+        block_dims = as_dims(block)
+        func = self.kernels[kernel_name]
+        func.validate_block(block_dims, self.config.max_resident_threads)
+        param_addr = self.write_params(params)
+        self.kmu.enqueue_host(
+            HostLaunchSpec(kernel_name, grid_dims, block_dims, param_addr, stream)
+        )
+        return param_addr
+
+    # ------------------------------------------------------------------
+    # Event queue
+    # ------------------------------------------------------------------
+    def schedule_event(self, cycle: int, fn: Callable[[int], None]) -> None:
+        if cycle < self.cycle:
+            cycle = self.cycle
+        heapq.heappush(self._events, (cycle, next(self._event_seq), fn))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _has_inflight_work(self) -> bool:
+        return (
+            self.kmu.pending_count > 0
+            or self.distributor.occupied > 0
+            or bool(self._events)
+        )
+
+    def run(self, max_cycles: Optional[int] = 200_000_000) -> SimStats:
+        """Simulate until the GPU drains; returns the stats object.
+
+        ``max_cycles`` is an absolute watchdog on the global cycle counter
+        (which accumulates across successive :meth:`run` calls).
+        """
+        events = self._events
+        smxs = self.smxs
+        while True:
+            while events and events[0][0] <= self.cycle:
+                _, _, fn = heapq.heappop(events)
+                fn(self.cycle)
+            for smx in smxs:
+                smx.tick(self.cycle)
+            next_cycle = None
+            if events:
+                next_cycle = events[0][0]
+            for smx in smxs:
+                ready = smx.next_ready_cycle()
+                if ready is not None and (next_cycle is None or ready < next_cycle):
+                    next_cycle = ready
+            if next_cycle is None:
+                if self._has_inflight_work():
+                    raise SimulationError(
+                        "simulator deadlock: in-flight work but no runnable "
+                        f"warps or events at cycle {self.cycle}"
+                    )
+                break
+            if next_cycle <= self.cycle:
+                next_cycle = self.cycle + 1
+            if max_cycles is not None and next_cycle > max_cycles:
+                raise SimulationError(
+                    f"watchdog: simulation exceeded {max_cycles} cycles"
+                )
+            self.stats.resident_warp_cycles += self.active_warps * (
+                next_cycle - self.cycle
+            )
+            self.cycle = next_cycle
+        self.stats.cycles = self.cycle
+        return self.stats

@@ -1,0 +1,74 @@
+"""Machine-state invariant checking.
+
+``check_drained(gpu)`` asserts every conservation property that must hold
+once a simulation has drained: all SMX resources returned, no resident
+warps, Kernel Distributor and AGT empty, no pending launches, and the
+footprint accounting back at zero.  Tests call it after runs so that any
+resource leak in the scheduler surfaces as a precise message rather than
+as a mysteriously slower follow-up launch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .gpu import GPU
+
+
+def check_drained(gpu: "GPU") -> None:
+    """Raise :class:`SimulationError` listing every violated invariant."""
+    problems: List[str] = []
+    cfg = gpu.config
+
+    for smx in gpu.smxs:
+        if smx.blocks:
+            problems.append(f"SMX {smx.smx_id}: {len(smx.blocks)} blocks resident")
+        if smx.resident_warps:
+            problems.append(
+                f"SMX {smx.smx_id}: {smx.resident_warps} warps still resident"
+            )
+        if smx.free_blocks != cfg.max_resident_blocks:
+            problems.append(f"SMX {smx.smx_id}: block slots leaked")
+        if smx.free_threads != cfg.max_resident_threads:
+            problems.append(f"SMX {smx.smx_id}: thread slots leaked")
+        if smx.free_regs != cfg.registers_per_smx:
+            problems.append(f"SMX {smx.smx_id}: registers leaked")
+        if smx.free_shared != cfg.shared_mem_size:
+            problems.append(f"SMX {smx.smx_id}: shared memory leaked")
+        if smx.free_warp_slots != cfg.max_resident_warps:
+            problems.append(f"SMX {smx.smx_id}: warp-context slots leaked")
+        if len(set(smx._free_slots)) != len(smx._free_slots):
+            problems.append(f"SMX {smx.smx_id}: duplicate free warp slots")
+
+    if gpu.active_warps:
+        problems.append(f"{gpu.active_warps} warps counted active after drain")
+    if gpu.distributor.occupied:
+        problems.append(
+            f"Kernel Distributor holds {gpu.distributor.occupied} entries"
+        )
+    if gpu.scheduler.agt.occupied:
+        problems.append(f"AGT holds {gpu.scheduler.agt.occupied} groups")
+    if gpu.scheduler.fcfs:
+        problems.append(f"FCFS queue holds {len(gpu.scheduler.fcfs)} entries")
+    if gpu.kmu.pending_count:
+        problems.append(f"KMU holds {gpu.kmu.pending_count} pending launches")
+    if gpu.stats.footprint_bytes:
+        problems.append(
+            f"pending-launch footprint is {gpu.stats.footprint_bytes} B, not 0"
+        )
+
+    # Launch-record closure: everything that started must have finished.
+    for record in gpu.stats.launches:
+        if record.completed_cycle is None:
+            problems.append(
+                f"launch of {record.kernel_name!r} ({record.kind.value}) "
+                "never completed"
+            )
+
+    if problems:
+        raise SimulationError(
+            "machine not cleanly drained:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,804 @@
+"""Warp state and the SIMT execution engine.
+
+A warp executes one instruction per :meth:`Warp.step` for the lanes in the
+active mask of its top PDOM stack frame.  Functional execution is
+vectorized over the 32 lanes with NumPy; timing effects are expressed by
+setting ``ready_cycle`` (in-order, dependent-issue model) or by blocking on
+memory / barrier / launch events.
+
+Control divergence follows the classic PDOM reconvergence stack
+[Fung et al., MICRO'07], which the paper's baseline uses (Section 2.2):
+on a divergent branch the current frame is rewritten to wait at the
+branch's immediate post-dominator, and one frame per path is pushed; a
+frame is popped when its pc reaches its reconvergence pc.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+import numpy as np
+
+from ..config import WARP_SIZE
+from ..errors import ExecutionError
+from ..isa.instructions import Bank, Cmp, Opcode, Reg, Special
+from ..memory.coalescing import coalesce_addresses
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .thread_block import ThreadBlock
+
+_CMP_FUNCS: Dict[Cmp, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    Cmp.LT: np.less,
+    Cmp.LE: np.less_equal,
+    Cmp.GT: np.greater,
+    Cmp.GE: np.greater_equal,
+    Cmp.EQ: np.equal,
+    Cmp.NE: np.not_equal,
+}
+
+
+class Warp:
+    """One warp: 32 lanes of architectural state plus scheduling status."""
+
+    __slots__ = (
+        "tb",
+        "warp_index",
+        "context_slot",
+        "hw_slot_base",
+        "age",
+        "regs_i",
+        "regs_f",
+        "stack",
+        "ready_cycle",
+        "finished",
+        "at_barrier",
+        "tid_x",
+        "tid_y",
+        "tid_z",
+        "gtid",
+        "init_mask",
+        "_gpu",
+        "_instrs",
+        "_mem_i",
+        "_mem_f",
+        "_mem_size",
+        "_stats",
+        "_cfg",
+        "_lat",
+    )
+
+    def __init__(self, tb: "ThreadBlock", warp_index: int, context_slot: int) -> None:
+        gpu = tb.gpu
+        func = tb.func
+        self.tb = tb
+        self.warp_index = warp_index
+        #: Warp-context slot within the SMX; determines this warp's
+        #: hardware thread indices and local-memory segment.
+        self.context_slot = context_slot
+        #: Hardware thread index base fed to the AGT hash.  The prime
+        #: per-SMX stride keeps concurrently launching warps on different
+        #: SMXs in mostly disjoint index ranges under the AGT's
+        #: power-of-two AND mask (see DESIGN.md).
+        self.hw_slot_base = tb.smx.smx_id * 157 + context_slot * WARP_SIZE
+        #: Monotonic age used by the greedy-then-oldest scheduler.
+        self.age = 0
+        self._gpu = gpu
+        self._instrs = func.program.instructions
+        self._mem_i = gpu.memory.i
+        self._mem_f = gpu.memory.f
+        self._mem_size = gpu.memory.size_words
+        self._stats = gpu.stats
+        self._cfg = gpu.config
+        self._lat = gpu.latency
+
+        highest = func.program.max_register_index()
+        self.regs_i = np.zeros((highest["int"] + 1, WARP_SIZE), dtype=np.int64)
+        self.regs_f = np.zeros((highest["flt"] + 1, WARP_SIZE), dtype=np.float64)
+
+        # Lane geometry within the block.
+        bx, by, _bz = tb.block_dims
+        linear = warp_index * WARP_SIZE + np.arange(WARP_SIZE, dtype=np.int64)
+        threads = tb.block_threads
+        self.init_mask = linear < threads
+        clamped = np.minimum(linear, threads - 1)
+        self.tid_x = clamped % bx
+        self.tid_y = (clamped // bx) % by
+        self.tid_z = clamped // (bx * by)
+        self.gtid = tb.block_linear_index * threads + clamped
+
+        self.stack: List[list] = [[0, -1, self.init_mask.copy()]]
+        self.ready_cycle = 0
+        self.finished = False
+        self.at_barrier = False
+
+    # ------------------------------------------------------------------
+    # Scheduling predicates
+    # ------------------------------------------------------------------
+    def executable(self, cycle: int) -> bool:
+        return (
+            not self.finished and not self.at_barrier and self.ready_cycle <= cycle
+        )
+
+    # ------------------------------------------------------------------
+    # Operand access
+    # ------------------------------------------------------------------
+    def _val_i(self, operand):
+        if type(operand) is Reg:
+            return self.regs_i[operand.idx]
+        return operand.value
+
+    def _val_f(self, operand):
+        if type(operand) is Reg:
+            if operand.bank == Bank.FLT:
+                return self.regs_f[operand.idx]
+            return self.regs_i[operand.idx].astype(np.float64)
+        return operand.value
+
+    def _write_i(self, reg: Reg, values, mask: np.ndarray) -> None:
+        np.copyto(self.regs_i[reg.idx], values, where=mask, casting="unsafe")
+
+    def _write_f(self, reg: Reg, values, mask: np.ndarray) -> None:
+        np.copyto(self.regs_f[reg.idx], values, where=mask, casting="unsafe")
+
+    # ------------------------------------------------------------------
+    # Main step
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Execute one instruction for the active frame's lanes."""
+        stack = self.stack
+        frame = stack[-1]
+        # Pop frames that reached their reconvergence point.
+        while len(stack) > 1 and frame[1] >= 0 and frame[0] == frame[1]:
+            stack.pop()
+            frame = stack[-1]
+        pc = frame[0]
+        mask = frame[2]
+        try:
+            instr = self._instrs[pc]
+        except IndexError:
+            raise ExecutionError(
+                f"warp ran off the end of kernel {self.tb.func.name!r} at pc={pc}"
+            ) from None
+        active = int(np.count_nonzero(mask))
+        self._stats.record_issue(active)
+        tracer = self._gpu.tracer
+        if tracer is not None:
+            tracer.on_issue(self, pc, instr.op, active, cycle)
+        handler = _DISPATCH[instr.op]
+        if not handler(self, instr, frame, mask, cycle):
+            frame[0] = pc + 1
+
+    # ------------------------------------------------------------------
+    # ALU handlers (return True iff they updated the pc themselves)
+    # ------------------------------------------------------------------
+    def _alu_done(self, cycle: int, sfu: bool = False) -> None:
+        self.ready_cycle = cycle + (self._cfg.sfu_latency if sfu else self._cfg.alu_latency)
+
+    def _h_int_bin(self, instr, frame, mask, cycle, fn, sfu=False):
+        self._write_i(instr.dst, fn(self._val_i(instr.a), self._val_i(instr.b)), mask)
+        self._alu_done(cycle, sfu)
+        return False
+
+    def _h_iadd(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.add)
+
+    def _h_isub(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.subtract)
+
+    def _h_imul(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.multiply)
+
+    def _h_idiv(self, instr, frame, mask, cycle):
+        a = np.asarray(self._val_i(instr.a))
+        b = np.asarray(self._val_i(instr.b))
+        safe = np.where(b == 0, 1, b)
+        self._write_i(instr.dst, a // safe, mask)
+        self._alu_done(cycle, sfu=True)
+        return False
+
+    def _h_imod(self, instr, frame, mask, cycle):
+        a = np.asarray(self._val_i(instr.a))
+        b = np.asarray(self._val_i(instr.b))
+        safe = np.where(b == 0, 1, b)
+        self._write_i(instr.dst, a % safe, mask)
+        self._alu_done(cycle, sfu=True)
+        return False
+
+    def _h_imin(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.minimum)
+
+    def _h_imax(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.maximum)
+
+    def _h_iand(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.bitwise_and)
+
+    def _h_ior(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.bitwise_or)
+
+    def _h_ixor(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.bitwise_xor)
+
+    def _h_ishl(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.left_shift)
+
+    def _h_ishr(self, instr, frame, mask, cycle):
+        return self._h_int_bin(instr, frame, mask, cycle, np.right_shift)
+
+    def _h_ineg(self, instr, frame, mask, cycle):
+        self._write_i(instr.dst, np.negative(self._val_i(instr.a)), mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_inot(self, instr, frame, mask, cycle):
+        self._write_i(instr.dst, np.bitwise_not(np.asarray(self._val_i(instr.a))), mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_mov(self, instr, frame, mask, cycle):
+        self._write_i(instr.dst, self._val_i(instr.a), mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_flt_bin(self, instr, frame, mask, cycle, fn, sfu=False):
+        self._write_f(instr.dst, fn(self._val_f(instr.a), self._val_f(instr.b)), mask)
+        self._alu_done(cycle, sfu)
+        return False
+
+    def _h_fadd(self, instr, frame, mask, cycle):
+        return self._h_flt_bin(instr, frame, mask, cycle, np.add)
+
+    def _h_fsub(self, instr, frame, mask, cycle):
+        return self._h_flt_bin(instr, frame, mask, cycle, np.subtract)
+
+    def _h_fmul(self, instr, frame, mask, cycle):
+        return self._h_flt_bin(instr, frame, mask, cycle, np.multiply)
+
+    def _h_fdiv(self, instr, frame, mask, cycle):
+        a = np.asarray(self._val_f(instr.a), dtype=np.float64)
+        b = np.asarray(self._val_f(instr.b), dtype=np.float64)
+        safe = np.where(b == 0.0, 1.0, b)
+        self._write_f(instr.dst, a / safe, mask)
+        self._alu_done(cycle, sfu=True)
+        return False
+
+    def _h_fmin(self, instr, frame, mask, cycle):
+        return self._h_flt_bin(instr, frame, mask, cycle, np.minimum)
+
+    def _h_fmax(self, instr, frame, mask, cycle):
+        return self._h_flt_bin(instr, frame, mask, cycle, np.maximum)
+
+    def _h_fneg(self, instr, frame, mask, cycle):
+        self._write_f(instr.dst, np.negative(self._val_f(instr.a)), mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_fsqrt(self, instr, frame, mask, cycle):
+        a = np.asarray(self._val_f(instr.a), dtype=np.float64)
+        self._write_f(instr.dst, np.sqrt(np.abs(a)), mask)
+        self._alu_done(cycle, sfu=True)
+        return False
+
+    def _h_fabs(self, instr, frame, mask, cycle):
+        self._write_f(instr.dst, np.abs(np.asarray(self._val_f(instr.a))), mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_fmov(self, instr, frame, mask, cycle):
+        self._write_f(instr.dst, self._val_f(instr.a), mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_itof(self, instr, frame, mask, cycle):
+        self._write_f(instr.dst, np.asarray(self._val_i(instr.a), dtype=np.float64), mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_ftoi(self, instr, frame, mask, cycle):
+        a = np.asarray(self._val_f(instr.a), dtype=np.float64)
+        self._write_i(instr.dst, a.astype(np.int64), mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_setp(self, instr, frame, mask, cycle):
+        fn = _CMP_FUNCS[instr.cmp]
+        result = fn(
+            np.asarray(self._val_i(instr.a)), np.asarray(self._val_i(instr.b))
+        ).astype(np.int64)
+        self._write_i(instr.dst, result, mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_fsetp(self, instr, frame, mask, cycle):
+        fn = _CMP_FUNCS[instr.cmp]
+        result = fn(
+            np.asarray(self._val_f(instr.a), dtype=np.float64),
+            np.asarray(self._val_f(instr.b), dtype=np.float64),
+        ).astype(np.int64)
+        self._write_i(instr.dst, result, mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_selp(self, instr, frame, mask, cycle):
+        cond = np.asarray(self._val_i(instr.c)) != 0
+        result = np.where(cond, self._val_i(instr.a), self._val_i(instr.b))
+        self._write_i(instr.dst, result, mask)
+        self._alu_done(cycle)
+        return False
+
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+    def _lane_addresses(self, instr, mask: np.ndarray) -> np.ndarray:
+        base = self._val_i(instr.a)
+        if isinstance(base, np.ndarray):
+            addrs = base[mask] + instr.offset
+        else:
+            addrs = np.full(int(np.count_nonzero(mask)), base + instr.offset, dtype=np.int64)
+        if addrs.size:
+            lo = int(addrs.min())
+            hi = int(addrs.max())
+            if lo < 0 or hi >= self._mem_size:
+                raise ExecutionError(
+                    f"kernel {self.tb.func.name!r}: global access out of range "
+                    f"(addr {lo}..{hi}, mem size {self._mem_size})"
+                )
+        return addrs
+
+    def _memory_timing(self, addrs: np.ndarray, is_write: bool, cycle: int) -> None:
+        segments = coalesce_addresses(addrs)
+        self._stats.coalescing.record(addrs.size, segments.size)
+        completion = self._gpu.memsys.warp_access(segments, is_write, cycle)
+        if is_write:
+            # Stores retire into the memory system; the warp does not wait.
+            self.ready_cycle = cycle + self._cfg.alu_latency
+        else:
+            self.ready_cycle = completion
+
+    def _h_ld(self, instr, frame, mask, cycle):
+        addrs = self._lane_addresses(instr, mask)
+        values = np.zeros(WARP_SIZE, dtype=np.int64)
+        values[mask] = self._mem_i[addrs]
+        self._write_i(instr.dst, values, mask)
+        self._memory_timing(addrs, False, cycle)
+        return False
+
+    def _h_fld(self, instr, frame, mask, cycle):
+        addrs = self._lane_addresses(instr, mask)
+        values = np.zeros(WARP_SIZE, dtype=np.float64)
+        values[mask] = self._mem_f[addrs]
+        self._write_f(instr.dst, values, mask)
+        self._memory_timing(addrs, False, cycle)
+        return False
+
+    def _h_st(self, instr, frame, mask, cycle):
+        addrs = self._lane_addresses(instr, mask)
+        src = self._val_i(instr.b)
+        self._mem_i[addrs] = src[mask] if isinstance(src, np.ndarray) else src
+        self._memory_timing(addrs, True, cycle)
+        return False
+
+    def _h_fst(self, instr, frame, mask, cycle):
+        addrs = self._lane_addresses(instr, mask)
+        src = self._val_f(instr.b)
+        self._mem_f[addrs] = src[mask] if isinstance(src, np.ndarray) else src
+        self._memory_timing(addrs, True, cycle)
+        return False
+
+    # ------------------------------------------------------------------
+    # Shared memory
+    # ------------------------------------------------------------------
+    def _shared_addresses(self, instr, mask: np.ndarray) -> np.ndarray:
+        base = self._val_i(instr.a)
+        if isinstance(base, np.ndarray):
+            addrs = base[mask] + instr.offset
+        else:
+            addrs = np.full(int(np.count_nonzero(mask)), base + instr.offset, dtype=np.int64)
+        size = self.tb.shared.size
+        if addrs.size:
+            lo = int(addrs.min())
+            hi = int(addrs.max())
+            if lo < 0 or hi >= size:
+                raise ExecutionError(
+                    f"kernel {self.tb.func.name!r}: shared access out of range "
+                    f"(addr {lo}..{hi}, shared words {size})"
+                )
+        return addrs
+
+    def _shared_conflict_degree(self, addrs: np.ndarray) -> int:
+        """n-way bank conflict factor: max distinct addresses per bank.
+
+        Duplicate addresses broadcast (no conflict); distinct addresses in
+        the same bank serialize.
+        """
+        if addrs.size <= 1:
+            return 1
+        distinct = np.unique(addrs)
+        if distinct.size == 1:
+            return 1
+        banks = distinct % self._cfg.shared_banks
+        return int(np.bincount(banks).max())
+
+    def _h_lds(self, instr, frame, mask, cycle):
+        addrs = self._shared_addresses(instr, mask)
+        values = np.zeros(WARP_SIZE, dtype=np.int64)
+        values[mask] = self.tb.shared[addrs]
+        self._write_i(instr.dst, values, mask)
+        degree = self._shared_conflict_degree(addrs)
+        self.ready_cycle = cycle + self._cfg.shared_latency * degree
+        return False
+
+    def _h_sts(self, instr, frame, mask, cycle):
+        addrs = self._shared_addresses(instr, mask)
+        src = self._val_i(instr.b)
+        self.tb.shared[addrs] = src[mask] if isinstance(src, np.ndarray) else src
+        degree = self._shared_conflict_degree(addrs)
+        self.ready_cycle = cycle + self._cfg.shared_latency * degree
+        return False
+
+    # ------------------------------------------------------------------
+    # Local memory (per-thread, interleaved layout, cached in the L1)
+    # ------------------------------------------------------------------
+    def _local_addresses(self, instr, mask: np.ndarray) -> np.ndarray:
+        """Physical addresses for per-thread local offsets.
+
+        CUDA's interleaved local layout: word ``offset`` of every thread
+        is contiguous across lanes, so lane-uniform offsets coalesce.
+        """
+        offsets = self._val_i(instr.a)
+        if isinstance(offsets, np.ndarray):
+            active = offsets[mask] + instr.offset
+        else:
+            active = np.full(
+                int(np.count_nonzero(mask)), offsets + instr.offset, dtype=np.int64
+            )
+        limit = self.tb.func.local_words
+        if active.size:
+            lo = int(active.min())
+            hi = int(active.max())
+            if lo < 0 or hi >= limit:
+                raise ExecutionError(
+                    f"kernel {self.tb.func.name!r}: local access out of range "
+                    f"(offset {lo}..{hi}, local_words {limit})"
+                )
+        smx = self.tb.smx
+        base = self._gpu.local_arena_base(smx.smx_id)
+        threads = self._cfg.max_resident_threads
+        lane_ids = self.context_slot * WARP_SIZE + np.flatnonzero(mask)
+        return base + active * threads + lane_ids
+
+    def _local_timing(self, addrs: np.ndarray, is_write: bool, cycle: int) -> None:
+        segments = coalesce_addresses(addrs)
+        self._stats.coalescing.record(addrs.size, segments.size)
+        l1 = self.tb.smx.l1
+        completion = cycle + self._cfg.l1_hit_latency
+        missing = [int(seg) for seg in segments if not l1.access(int(seg))]
+        if missing:
+            done = self._gpu.memsys.warp_access(
+                np.asarray(missing, dtype=np.int64), is_write, cycle
+            )
+            if done > completion:
+                completion = done
+        if is_write:
+            self.ready_cycle = cycle + self._cfg.alu_latency
+        else:
+            self.ready_cycle = completion
+
+    def _h_ldl(self, instr, frame, mask, cycle):
+        addrs = self._local_addresses(instr, mask)
+        values = np.zeros(WARP_SIZE, dtype=np.int64)
+        values[mask] = self._mem_i[addrs]
+        self._write_i(instr.dst, values, mask)
+        self._local_timing(addrs, False, cycle)
+        return False
+
+    def _h_stl(self, instr, frame, mask, cycle):
+        addrs = self._local_addresses(instr, mask)
+        src = self._val_i(instr.b)
+        self._mem_i[addrs] = src[mask] if isinstance(src, np.ndarray) else src
+        self._local_timing(addrs, True, cycle)
+        return False
+
+    # ------------------------------------------------------------------
+    # Warp-level primitives (shuffle / vote)
+    # ------------------------------------------------------------------
+    def _h_shfl_idx(self, instr, frame, mask, cycle):
+        source = np.asarray(self._val_i(instr.a))
+        lanes = np.asarray(self._val_i(instr.b)) % WARP_SIZE
+        if source.ndim == 0:
+            source = np.full(WARP_SIZE, source, dtype=np.int64)
+        if lanes.ndim == 0:
+            lanes = np.full(WARP_SIZE, lanes, dtype=np.int64)
+        self._write_i(instr.dst, source[lanes], mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_shfl_down(self, instr, frame, mask, cycle):
+        source = np.asarray(self._val_i(instr.a))
+        delta = int(np.asarray(self._val_i(instr.b)).max())
+        if source.ndim == 0:
+            source = np.full(WARP_SIZE, source, dtype=np.int64)
+        lanes = np.arange(WARP_SIZE) + delta
+        lanes = np.where(lanes < WARP_SIZE, lanes, np.arange(WARP_SIZE))
+        self._write_i(instr.dst, source[lanes], mask)
+        self._alu_done(cycle)
+        return False
+
+    def _h_vote(self, instr, frame, mask, cycle):
+        predicate = np.asarray(self._val_i(instr.a)) != 0
+        if predicate.ndim == 0:
+            predicate = np.full(WARP_SIZE, bool(predicate))
+        active = predicate & mask
+        if instr.op == Opcode.VOTE_ANY:
+            result = int(active.any())
+        elif instr.op == Opcode.VOTE_ALL:
+            result = int((predicate | ~mask).all())
+        else:  # VOTE_BALLOT: bit i set iff lane i is active and true
+            result = int(
+                (active * (np.int64(1) << np.arange(WARP_SIZE, dtype=np.int64))).sum()
+            )
+        self._write_i(instr.dst, result, mask)
+        self._alu_done(cycle)
+        return False
+
+    # ------------------------------------------------------------------
+    # Atomics (serialized per lane, as hardware does for address conflicts)
+    # ------------------------------------------------------------------
+    def _h_atomic(self, instr, frame, mask, cycle):
+        addrs_full = self._val_i(instr.a)
+        lanes = np.flatnonzero(mask)
+        mem = self._mem_i
+        op = instr.op
+        bvals = self._val_i(instr.b)
+        cvals = self._val_i(instr.c) if instr.c is not None else None
+        old = np.zeros(WARP_SIZE, dtype=np.int64)
+        active_addrs = np.empty(lanes.size, dtype=np.int64)
+        for pos, lane in enumerate(lanes):
+            addr = int(addrs_full[lane]) if isinstance(addrs_full, np.ndarray) else int(addrs_full)
+            addr += instr.offset
+            if addr < 0 or addr >= self._mem_size:
+                raise ExecutionError(
+                    f"kernel {self.tb.func.name!r}: atomic out of range at {addr}"
+                )
+            active_addrs[pos] = addr
+            value = int(bvals[lane]) if isinstance(bvals, np.ndarray) else int(bvals)
+            current = int(mem[addr])
+            old[lane] = current
+            if op == Opcode.ATOM_ADD:
+                mem[addr] = current + value
+            elif op == Opcode.ATOM_MIN:
+                if value < current:
+                    mem[addr] = value
+            elif op == Opcode.ATOM_MAX:
+                if value > current:
+                    mem[addr] = value
+            elif op == Opcode.ATOM_OR:
+                mem[addr] = current | value
+            elif op == Opcode.ATOM_EXCH:
+                mem[addr] = value
+            else:  # ATOM_CAS: b is compare, c is the new value
+                new = int(cvals[lane]) if isinstance(cvals, np.ndarray) else int(cvals)
+                if current == value:
+                    mem[addr] = new
+        if instr.dst is not None:
+            self._write_i(instr.dst, old, mask)
+        self._memory_timing(active_addrs, False, cycle)
+        return False
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _h_bra(self, instr, frame, mask, cycle):
+        pc = frame[0]
+        self._alu_done(cycle)
+        if instr.pred is None:
+            frame[0] = instr.target
+            return True
+        predv = self.regs_i[instr.pred.idx] != 0
+        if not instr.pred_sense:
+            predv = ~predv
+        taken = mask & predv
+        n_taken = int(np.count_nonzero(taken))
+        if n_taken == 0:
+            self._stats.branches_uniform += 1
+            frame[0] = pc + 1
+            return True
+        if n_taken == int(np.count_nonzero(mask)):
+            self._stats.branches_uniform += 1
+            frame[0] = instr.target
+            return True
+        # Divergence: rewrite the current frame into the reconvergence
+        # frame and push one frame per path (taken executes first).
+        self._stats.branches_diverged += 1
+        rpc = instr.reconv
+        fall = mask & ~predv
+        frame[0] = rpc
+        self.stack.append([pc + 1, rpc, fall])
+        self.stack.append([instr.target, rpc, taken])
+        return True
+
+    def _h_join(self, instr, frame, mask, cycle):
+        # Reconvergence marker: frames are popped in step(); executing JOIN
+        # just costs a cycle for the merged warp.
+        self.ready_cycle = cycle + 1
+        return False
+
+    def _h_bar(self, instr, frame, mask, cycle):
+        frame[0] += 1
+        self.at_barrier = True
+        self.tb.arrive_barrier(self, cycle)
+        return True
+
+    def _h_exit(self, instr, frame, mask, cycle):
+        self.finished = True
+        self.tb.warp_finished(self, cycle)
+        return True
+
+    def _h_nop(self, instr, frame, mask, cycle):
+        self.ready_cycle = cycle + 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Special registers
+    # ------------------------------------------------------------------
+    def _h_read_special(self, instr, frame, mask, cycle):
+        which = instr.special
+        tb = self.tb
+        if which == Special.TID_X:
+            value = self.tid_x
+        elif which == Special.TID_Y:
+            value = self.tid_y
+        elif which == Special.TID_Z:
+            value = self.tid_z
+        elif which == Special.NTID_X:
+            value = tb.block_dims[0]
+        elif which == Special.NTID_Y:
+            value = tb.block_dims[1]
+        elif which == Special.NTID_Z:
+            value = tb.block_dims[2]
+        elif which == Special.CTAID_X:
+            value = tb.ctaid[0]
+        elif which == Special.CTAID_Y:
+            value = tb.ctaid[1]
+        elif which == Special.CTAID_Z:
+            value = tb.ctaid[2]
+        elif which == Special.NCTAID_X:
+            value = tb.grid_dims[0]
+        elif which == Special.NCTAID_Y:
+            value = tb.grid_dims[1]
+        elif which == Special.NCTAID_Z:
+            value = tb.grid_dims[2]
+        elif which == Special.PARAM:
+            value = tb.param_addr
+        elif which == Special.GTID:
+            value = self.gtid
+        else:  # pragma: no cover - enum is exhaustive
+            raise ExecutionError(f"unknown special register {which!r}")
+        self._write_i(instr.dst, value, mask)
+        self._alu_done(cycle)
+        return False
+
+    # ------------------------------------------------------------------
+    # Device runtime: parameter buffers, streams, launches
+    # ------------------------------------------------------------------
+    def _h_stream_create(self, instr, frame, mask, cycle):
+        ids = self._gpu.runtime.create_streams(int(np.count_nonzero(mask)))
+        values = np.zeros(WARP_SIZE, dtype=np.int64)
+        values[mask] = ids
+        self._write_i(instr.dst, values, mask)
+        self.ready_cycle = cycle + self._lat.stream_create
+        return False
+
+    def _h_get_param_buf(self, instr, frame, mask, cycle):
+        count = int(np.count_nonzero(mask))
+        bases = self._gpu.runtime.alloc_param_buffers(count, instr.size)
+        values = np.zeros(WARP_SIZE, dtype=np.int64)
+        values[mask] = bases
+        self._write_i(instr.dst, values, mask)
+        self.ready_cycle = cycle + self._lat.param_buffer_cycles(count)
+        return False
+
+    def _dim_lane(self, operand, lane: int) -> int:
+        value = self._val_i(operand)
+        if isinstance(value, np.ndarray):
+            return int(value[lane])
+        return int(value)
+
+    def _collect_launches(self, instr, mask: np.ndarray):
+        lanes = np.flatnonzero(mask)
+        params = self._val_i(instr.a)
+        requests = []
+        for lane in lanes:
+            lane = int(lane)
+            grid = tuple(self._dim_lane(op, lane) for op in instr.grid_dims)
+            block = tuple(self._dim_lane(op, lane) for op in instr.block_dims)
+            param = int(params[lane]) if isinstance(params, np.ndarray) else int(params)
+            requests.append((instr.kernel, param, grid, block, self.hw_slot_base + lane))
+        return requests
+
+    def _h_launch_device(self, instr, frame, mask, cycle):
+        requests = self._collect_launches(instr, mask)
+        stall = self._lat.launch_device_cycles(len(requests))
+        self._gpu.runtime.submit_device_launches(requests, cycle + stall)
+        self.ready_cycle = cycle + stall
+        return False
+
+    def _h_launch_agg(self, instr, frame, mask, cycle):
+        requests = self._collect_launches(instr, mask)
+        # Section 4.3: KDE search is pipelined over the 32 entries and the
+        # AGT probe is a single-cycle hash; parameter-buffer allocation (the
+        # dominant cost) was already paid at GET_PARAM_BUF.
+        stall = (
+            self._lat.kde_search_cycles(self._cfg.max_concurrent_kernels)
+            + self._lat.agt_probe
+        )
+        self._gpu.runtime.submit_agg_launches(requests, cycle + stall)
+        self.ready_cycle = cycle + stall
+        return False
+
+
+def _build_dispatch() -> Dict[Opcode, Callable]:
+    return {
+        Opcode.IADD: Warp._h_iadd,
+        Opcode.ISUB: Warp._h_isub,
+        Opcode.IMUL: Warp._h_imul,
+        Opcode.IDIV: Warp._h_idiv,
+        Opcode.IMOD: Warp._h_imod,
+        Opcode.IMIN: Warp._h_imin,
+        Opcode.IMAX: Warp._h_imax,
+        Opcode.IAND: Warp._h_iand,
+        Opcode.IOR: Warp._h_ior,
+        Opcode.IXOR: Warp._h_ixor,
+        Opcode.ISHL: Warp._h_ishl,
+        Opcode.ISHR: Warp._h_ishr,
+        Opcode.INEG: Warp._h_ineg,
+        Opcode.INOT: Warp._h_inot,
+        Opcode.MOV: Warp._h_mov,
+        Opcode.FADD: Warp._h_fadd,
+        Opcode.FSUB: Warp._h_fsub,
+        Opcode.FMUL: Warp._h_fmul,
+        Opcode.FDIV: Warp._h_fdiv,
+        Opcode.FMIN: Warp._h_fmin,
+        Opcode.FMAX: Warp._h_fmax,
+        Opcode.FNEG: Warp._h_fneg,
+        Opcode.FSQRT: Warp._h_fsqrt,
+        Opcode.FABS: Warp._h_fabs,
+        Opcode.FMOV: Warp._h_fmov,
+        Opcode.ITOF: Warp._h_itof,
+        Opcode.FTOI: Warp._h_ftoi,
+        Opcode.SETP: Warp._h_setp,
+        Opcode.FSETP: Warp._h_fsetp,
+        Opcode.SELP: Warp._h_selp,
+        Opcode.LD: Warp._h_ld,
+        Opcode.ST: Warp._h_st,
+        Opcode.FLD: Warp._h_fld,
+        Opcode.FST: Warp._h_fst,
+        Opcode.LDS: Warp._h_lds,
+        Opcode.STS: Warp._h_sts,
+        Opcode.LDL: Warp._h_ldl,
+        Opcode.STL: Warp._h_stl,
+        Opcode.SHFL_IDX: Warp._h_shfl_idx,
+        Opcode.SHFL_DOWN: Warp._h_shfl_down,
+        Opcode.VOTE_ANY: Warp._h_vote,
+        Opcode.VOTE_ALL: Warp._h_vote,
+        Opcode.VOTE_BALLOT: Warp._h_vote,
+        Opcode.ATOM_ADD: Warp._h_atomic,
+        Opcode.ATOM_MIN: Warp._h_atomic,
+        Opcode.ATOM_MAX: Warp._h_atomic,
+        Opcode.ATOM_OR: Warp._h_atomic,
+        Opcode.ATOM_EXCH: Warp._h_atomic,
+        Opcode.ATOM_CAS: Warp._h_atomic,
+        Opcode.BRA: Warp._h_bra,
+        Opcode.JOIN: Warp._h_join,
+        Opcode.BAR: Warp._h_bar,
+        Opcode.EXIT: Warp._h_exit,
+        Opcode.NOP: Warp._h_nop,
+        Opcode.READ_SPECIAL: Warp._h_read_special,
+        Opcode.STREAM_CREATE: Warp._h_stream_create,
+        Opcode.GET_PARAM_BUF: Warp._h_get_param_buf,
+        Opcode.LAUNCH_DEVICE: Warp._h_launch_device,
+        Opcode.LAUNCH_AGG: Warp._h_launch_agg,
+    }
+
+
+_DISPATCH = _build_dispatch()

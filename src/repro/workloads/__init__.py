@@ -1,0 +1,14 @@
+"""The paper's benchmark applications (Table 4), reimplemented for the
+simulator in flat / CDP / DTBL variants, plus their synthetic datasets.
+"""
+
+from .base import Workload, WorkloadResult
+from .registry import BENCHMARKS, get_benchmark, benchmark_names
+
+__all__ = [
+    "BENCHMARKS",
+    "Workload",
+    "WorkloadResult",
+    "benchmark_names",
+    "get_benchmark",
+]

@@ -1,0 +1,64 @@
+"""Command-line entry point: run one benchmark and print its counters.
+
+Usage::
+
+    python -m repro.workloads bfs_citation --mode dtbl
+    python -m repro.workloads join_gaussian --mode flat cdp dtbl --scale 0.5
+    python -m repro.workloads --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..runtime import ExecutionMode
+from .registry import benchmark_names, get_benchmark
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Run one Table 4 benchmark on the simulated GPU.",
+    )
+    parser.add_argument("benchmark", nargs="?", help="benchmark id (see --list)")
+    parser.add_argument("--mode", nargs="*", default=["flat", "cdp", "dtbl"],
+                        help="execution modes (flat cdp cdpi dtbl dtbli)")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale")
+    parser.add_argument("--latency-scale", type=float, default=0.25,
+                        help="Table 3 launch-latency scale")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the reference-result check")
+    parser.add_argument("--list", action="store_true", help="list benchmarks")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.benchmark:
+        for name in benchmark_names():
+            print(name)
+        return 0
+
+    baseline = None
+    for mode_name in args.mode:
+        mode = ExecutionMode.from_name(mode_name)
+        workload = get_benchmark(args.benchmark, mode, args.scale)
+        result = workload.execute(
+            latency_scale=args.latency_scale, verify=not args.no_verify
+        )
+        stats = result.stats
+        if baseline is None:
+            baseline = stats.cycles
+        print(f"== {args.benchmark} [{mode.value}]")
+        print(f"   cycles            {stats.cycles:,}")
+        print(f"   speedup vs first  {baseline / stats.cycles:.2f}x")
+        for key, value in stats.summary().items():
+            if key == "cycles":
+                continue
+            if isinstance(value, float):
+                print(f"   {key:18s}{value:.3f}")
+            else:
+                print(f"   {key:18s}{value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Workload base class: the flat / CDP / DTBL implementation contract.
+
+Every benchmark implements three variants of the same algorithm, mirroring
+the paper's methodology (Section 5.1):
+
+* **flat** — the nested structure is flattened and serialized within each
+  thread;
+* **CDP** — a device *kernel* is launched for any dynamically formed
+  pocket of parallelism (DFP) with enough work, via
+  ``cudaStreamCreateWithFlags`` + ``cudaGetParameterBuffer`` +
+  ``cudaLaunchDevice``;
+* **DTBL** — the same DFPs are launched as aggregated groups via
+  ``cudaGetParameterBuffer`` + ``cudaLaunchAggGroup``.
+
+Data structures and algorithms are identical across variants; only the
+dynamic-launch mechanism differs (the paper's fair-comparison rule).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import GPUConfig
+from ..errors import WorkloadError
+from ..runtime import Device, ExecutionMode
+from ..sim.kernel import KernelFunction
+from ..sim.stats import SimStats
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one simulated run."""
+
+    name: str
+    mode: ExecutionMode
+    stats: SimStats
+    #: Cycles spent in the measured (computation) portion.
+    cycles: int
+
+    def summary(self) -> dict:
+        data = self.stats.summary()
+        data["benchmark"] = self.name
+        data["mode"] = self.mode.value
+        return data
+
+
+class Workload(abc.ABC):
+    """One benchmark instance bound to a dataset.
+
+    Subclasses implement kernel construction and the host-side driver; the
+    base class owns device creation, registration, execution, and the
+    correctness check against a pure-Python reference.
+    """
+
+    #: Short benchmark name, e.g. ``"bfs"``.
+    app_name: str = "workload"
+    #: Threads per dynamically launched thread block.
+    child_block: int = 32
+    #: Minimum DFP size that justifies a dynamic launch.
+    child_threshold: int = 32
+
+    def __init__(self, name: str, mode: ExecutionMode) -> None:
+        self.name = name
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    # Contract
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_kernels(self) -> List[KernelFunction]:
+        """All kernel functions this variant needs, ready to register."""
+
+    @abc.abstractmethod
+    def setup(self, device: Device) -> None:
+        """Upload inputs and allocate outputs."""
+
+    @abc.abstractmethod
+    def run(self, device: Device) -> None:
+        """Host-side driver: launch kernels and synchronize to completion."""
+
+    @abc.abstractmethod
+    def check(self, device: Device) -> None:
+        """Compare device results against the pure-Python reference.
+
+        Must raise :class:`~repro.errors.WorkloadError` on mismatch.
+        """
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        config: Optional[GPUConfig] = None,
+        memory_words: int = 4 * 1024 * 1024,
+        verify: bool = True,
+        max_cycles: Optional[int] = 500_000_000,
+        latency_scale: float = 1.0,
+        optimize_kernels: bool = False,
+    ) -> WorkloadResult:
+        """Build, run and (optionally) verify this workload end to end.
+
+        ``latency_scale`` shrinks the measured Table 3 launch latencies to
+        match a scaled-down dataset (see ``LatencyModel.scaled``);
+        ``optimize_kernels`` runs the peephole optimizer over every kernel
+        before registration (results are still verified).
+        """
+        device = Device(
+            config=config or GPUConfig.k20c(),
+            mode=self.mode,
+            latency=self.mode.latency_model(latency_scale),
+            memory_words=memory_words,
+        )
+        for func in self.build_kernels():
+            if optimize_kernels:
+                from ..isa.optimizer import optimized_copy
+                from ..sim.kernel import KernelFunction
+
+                func = KernelFunction(
+                    func.name,
+                    optimized_copy(func.program),
+                    shared_words=func.shared_words,
+                    local_words=func.local_words,
+                )
+            device.register(func)
+        self.setup(device)
+        self.run(device)
+        device.synchronize(max_cycles=max_cycles)
+        if verify:
+            self.check(device)
+        return WorkloadResult(
+            name=self.name,
+            mode=self.mode,
+            stats=device.stats,
+            cycles=device.stats.cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the drivers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def grid_for(items: int, block: int) -> int:
+        """Blocks needed to cover ``items`` work items."""
+        return max(1, (items + block - 1) // block)
+
+    def expect(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise WorkloadError(f"{self.name} ({self.mode.value}): {message}")

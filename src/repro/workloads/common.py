@@ -1,0 +1,88 @@
+"""Shared kernel-construction helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..isa.builder import KernelBuilder, Value
+from ..runtime import Device, ExecutionMode
+from .datasets.graphs import Graph
+
+#: Sentinel "infinite distance" for traversal workloads.
+INF = 1 << 40
+
+
+@dataclass
+class DeviceGraph:
+    """Addresses of a CSR graph uploaded to device memory."""
+
+    indptr: int
+    indices: int
+    weights: int
+    num_vertices: int
+    num_edges: int
+
+
+def upload_graph(device: Device, graph: Graph) -> DeviceGraph:
+    """Copy a CSR graph into simulated global memory."""
+    indptr = device.upload(graph.indptr)
+    indices = device.upload(graph.indices) if graph.num_edges else device.alloc(1)
+    weights = device.upload(graph.weights) if graph.weights is not None else 0
+    return DeviceGraph(
+        indptr=indptr,
+        indices=indices,
+        weights=weights,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    )
+
+
+def emit_dynamic_launch(
+    k: KernelBuilder,
+    mode: ExecutionMode,
+    child_name: str,
+    child_params: Sequence[Value],
+    work_items: Value,
+    block_size: int,
+) -> None:
+    """Emit the CDP or DTBL launch sequence for one DFP.
+
+    Fills a parameter buffer with ``child_params`` (int values/registers),
+    computes the block count for ``work_items`` threads, and launches
+    ``child_name`` with a device kernel (CDP, including the per-launch
+    stream creation the paper's Fig. 3a code performs) or an aggregated
+    group (DTBL).
+    """
+    buf = k.get_param_buffer(len(child_params))
+    for offset, value in enumerate(child_params):
+        k.st(buf, value, offset=offset)
+    blocks = k.idiv(k.iadd(work_items, block_size - 1), block_size)
+    if mode.uses_dtbl:
+        k.launch_agg(child_name, buf, agg=blocks, block=block_size)
+    elif mode.uses_cdp:
+        k.stream_create()
+        k.launch_device(child_name, buf, grid=blocks, block=block_size)
+    else:
+        raise ValueError(f"mode {mode} has no dynamic launch mechanism")
+
+
+def emit_dfp(
+    k: KernelBuilder,
+    mode: ExecutionMode,
+    count: Value,
+    threshold: int,
+    launch_fn: Callable[[], None],
+    serial_fn: Callable[[], None],
+) -> None:
+    """The paper's implementation scheme for one DFP site.
+
+    In flat mode the pocket of parallelism is always serialized within the
+    thread.  In CDP/DTBL modes a dynamic launch replaces the serial loop
+    whenever the pocket has at least ``threshold`` work items (launching
+    tiny pockets costs more than it gains); smaller pockets stay serial.
+    """
+    if not mode.is_dynamic:
+        serial_fn()
+        return
+    k.if_else(k.ge(count, threshold), launch_fn, serial_fn)

@@ -1,0 +1,205 @@
+"""The benchmark registry: Table 4's application/input configurations.
+
+Each entry maps a benchmark id (e.g. ``bfs_citation``) to a factory that
+builds the corresponding :class:`~repro.workloads.base.Workload` for a
+given execution mode.  ``scale`` < 1.0 shrinks the dataset for fast test
+runs; 1.0 is the default evaluation size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import WorkloadError
+from ..runtime import ExecutionMode
+from .base import Workload
+
+#: name -> factory(mode, scale) -> Workload
+BENCHMARKS: Dict[str, Callable[[ExecutionMode, float], Workload]] = {}
+
+
+def register_benchmark(name: str):
+    """Decorator: register a ``(mode, scale) -> Workload`` factory."""
+
+    def wrap(factory):
+        if name in BENCHMARKS:
+            raise WorkloadError(f"duplicate benchmark {name!r}")
+        BENCHMARKS[name] = factory
+        return factory
+
+    return wrap
+
+
+def get_benchmark(name: str, mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    try:
+        factory = BENCHMARKS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {', '.join(sorted(BENCHMARKS))}"
+        ) from None
+    return factory(mode, scale)
+
+
+def benchmark_names() -> List[str]:
+    return sorted(BENCHMARKS)
+
+
+def _scaled(base: int, scale: float, minimum: int = 32) -> int:
+    return max(minimum, int(base * scale))
+
+
+# ----------------------------------------------------------------------
+# Table 4 configurations
+# ----------------------------------------------------------------------
+
+@register_benchmark("bfs_citation")
+def _bfs_citation(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .bfs import BfsWorkload
+    from .datasets.graphs import citation_network
+
+    return BfsWorkload("bfs_citation", mode, citation_network(n=_scaled(1200, scale)))
+
+
+@register_benchmark("bfs_usa_road")
+def _bfs_usa_road(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .bfs import BfsWorkload
+    from .datasets.graphs import usa_road
+
+    return BfsWorkload("bfs_usa_road", mode, usa_road(n=_scaled(1600, scale)))
+
+
+@register_benchmark("bfs_cage15")
+def _bfs_cage15(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .bfs import BfsWorkload
+    from .datasets.graphs import cage15_like
+
+    return BfsWorkload("bfs_cage15", mode, cage15_like(n=_scaled(1100, scale)))
+
+
+@register_benchmark("sssp_citation")
+def _sssp_citation(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .sssp import SsspWorkload
+    from .datasets.graphs import citation_network
+
+    return SsspWorkload(
+        "sssp_citation", mode, citation_network(n=_scaled(900, scale), weighted=True)
+    )
+
+
+@register_benchmark("sssp_flight")
+def _sssp_flight(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .sssp import SsspWorkload
+    from .datasets.graphs import flight_network
+
+    return SsspWorkload(
+        "sssp_flight", mode, flight_network(n=_scaled(700, scale), weighted=True)
+    )
+
+
+@register_benchmark("sssp_cage15")
+def _sssp_cage15(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .sssp import SsspWorkload
+    from .datasets.graphs import cage15_like
+
+    return SsspWorkload(
+        "sssp_cage15", mode, cage15_like(n=_scaled(900, scale), weighted=True)
+    )
+
+
+@register_benchmark("clr_citation")
+def _clr_citation(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .clr import ColoringWorkload
+    from .datasets.graphs import citation_network
+
+    return ColoringWorkload(
+        "clr_citation", mode, citation_network(n=_scaled(1000, scale), seed=3)
+    )
+
+
+@register_benchmark("clr_graph500")
+def _clr_graph500(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .clr import ColoringWorkload
+    from .datasets.graphs import graph500_like
+
+    return ColoringWorkload("clr_graph500", mode, graph500_like(n=_scaled(1000, scale)))
+
+
+@register_benchmark("clr_cage15")
+def _clr_cage15(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .clr import ColoringWorkload
+    from .datasets.graphs import cage15_like
+
+    return ColoringWorkload("clr_cage15", mode, cage15_like(n=_scaled(900, scale), seed=5))
+
+
+@register_benchmark("amr")
+def _amr(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .amr import AmrWorkload
+    from .datasets.mesh import amr_grid
+
+    side = max(8, int(28 * (scale**0.5)))
+    return AmrWorkload("amr", mode, amr_grid(side=side))
+
+
+@register_benchmark("bht")
+def _bht(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .bht import BarnesHutWorkload
+    from .datasets.points import random_points
+
+    return BarnesHutWorkload("bht", mode, random_points(n=_scaled(700, scale)))
+
+
+@register_benchmark("regx_darpa")
+def _regx_darpa(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .regx import RegexWorkload
+    from .datasets.strings import darpa_packets
+
+    return RegexWorkload("regx_darpa", mode, darpa_packets(n=_scaled(700, scale)))
+
+
+@register_benchmark("regx_string")
+def _regx_string(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .regx import RegexWorkload
+    from .datasets.strings import random_strings
+
+    return RegexWorkload("regx_string", mode, random_strings(n=_scaled(800, scale)))
+
+
+@register_benchmark("pre_movielens")
+def _pre_movielens(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .pre import RecommendationWorkload
+    from .datasets.ratings import movielens_like
+
+    return RecommendationWorkload(
+        "pre_movielens",
+        mode,
+        movielens_like(
+            num_users=_scaled(420, scale),
+            num_items=_scaled(512, scale, 16),
+            avg_ratings=12,
+        ),
+    )
+
+
+@register_benchmark("join_uniform")
+def _join_uniform(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .join import JoinWorkload
+    from .datasets.relations import join_tables
+
+    return JoinWorkload(
+        "join_uniform",
+        mode,
+        join_tables("uniform", r_size=_scaled(1600, scale), s_size=_scaled(1200, scale)),
+    )
+
+
+@register_benchmark("join_gaussian")
+def _join_gaussian(mode: ExecutionMode, scale: float = 1.0) -> Workload:
+    from .join import JoinWorkload
+    from .datasets.relations import join_tables
+
+    return JoinWorkload(
+        "join_gaussian",
+        mode,
+        join_tables("gaussian", r_size=_scaled(1600, scale), s_size=_scaled(1200, scale)),
+    )

@@ -1,0 +1,92 @@
+"""Unit tests for the Aggregated Group Table and AGEs."""
+
+import pytest
+
+from repro.dtbl.agt import AggregatedGroupEntry, AggregatedGroupTable
+from repro.errors import ConfigError
+from repro.sim.stats import LaunchKind, LaunchRecord
+
+
+def make_age(blocks=4) -> AggregatedGroupEntry:
+    record = LaunchRecord(
+        kind=LaunchKind.AGG_GROUP,
+        kernel_name="k",
+        launch_cycle=0,
+        total_blocks=blocks,
+        total_threads=blocks * 32,
+    )
+    return AggregatedGroupEntry((blocks, 1, 1), param_addr=100, record=record)
+
+
+class TestHashAllocation:
+    def test_hash_is_masked_tid(self):
+        agt = AggregatedGroupTable(64)
+        assert agt.hash_index(0) == 0
+        assert agt.hash_index(63) == 63
+        assert agt.hash_index(64) == 0
+        assert agt.hash_index(65) == 1
+
+    def test_alloc_success_and_collision(self):
+        agt = AggregatedGroupTable(64)
+        a = make_age()
+        b = make_age()
+        assert agt.try_alloc(5, a) is True
+        assert a.in_agt and a.agt_index == 5
+        # Same hashed slot: single-probe allocation fails (spill).
+        assert agt.try_alloc(69, b) is False
+        assert not b.in_agt
+
+    def test_free_reopens_slot(self):
+        agt = AggregatedGroupTable(64)
+        a = make_age()
+        agt.try_alloc(7, a)
+        agt.free(a)
+        assert agt.occupied == 0
+        b = make_age()
+        assert agt.try_alloc(7, b) is True
+
+    def test_peak_tracking(self):
+        agt = AggregatedGroupTable(64)
+        entries = [make_age() for _ in range(10)]
+        for i, age in enumerate(entries):
+            agt.try_alloc(i, age)
+        assert agt.peak_occupied == 10
+        for age in entries:
+            agt.free(age)
+        assert agt.peak_occupied == 10
+        assert agt.occupied == 0
+
+    def test_free_spilled_group_is_noop(self):
+        agt = AggregatedGroupTable(64)
+        spilled = make_age()
+        agt.free(spilled)  # never allocated; must not blow up
+        assert agt.occupied == 0
+
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            AggregatedGroupTable(100)
+        with pytest.raises(ConfigError):
+            AggregatedGroupTable(0)
+
+
+class TestAgeLifecycle:
+    def test_distribution_progress(self):
+        age = make_age(blocks=3)
+        assert not age.fully_distributed
+        age.next_block = 3
+        assert age.fully_distributed
+        age.exe_blocks = 2
+        assert not age.done
+        age.exe_blocks = 0
+        assert age.done
+
+    def test_linked_list(self):
+        a, b, c = make_age(), make_age(), make_age()
+        a.next = b
+        b.next = c
+        chain = []
+        node = a
+        while node:
+            chain.append(node)
+            node = node.next
+        assert chain == [a, b, c]

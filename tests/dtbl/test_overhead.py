@@ -1,0 +1,29 @@
+"""Section 4.3 overhead numbers."""
+
+from repro.config import GPUConfig
+from repro.dtbl.overhead import overhead_report
+
+
+class TestOverhead:
+    def test_agt_1024_is_20kb(self):
+        report = overhead_report(GPUConfig.k20c())
+        assert report.agt_sram_bytes == 20 * 1024
+
+    def test_register_bytes_match_paper(self):
+        report = overhead_report(GPUConfig.k20c())
+        assert report.register_bytes == 1096
+
+    def test_fraction_is_small(self):
+        # Paper: about 0.5% of the shared memory + register area per SMX;
+        # relative to all SMXs the fraction is well under 1%.
+        report = overhead_report(GPUConfig.k20c())
+        assert 0 < report.fraction_of_smx_storage < 0.01
+
+    def test_scales_with_agt_size(self):
+        small = overhead_report(GPUConfig.k20c().with_agt_entries(512))
+        large = overhead_report(GPUConfig.k20c().with_agt_entries(2048))
+        assert large.agt_sram_bytes == 4 * small.agt_sram_bytes
+
+    def test_rows_render(self):
+        rows = overhead_report(GPUConfig.k20c()).rows()
+        assert any("AGT SRAM" in str(row[0]) for row in rows)

@@ -1,0 +1,68 @@
+"""Experiment generators: structure and static tables."""
+
+import pytest
+
+from repro.harness.experiments import (
+    Experiment,
+    figure6_warp_activity,
+    figure10_memory_footprint,
+    figure11_speedup,
+    overhead_analysis,
+    table2_configuration,
+    table3_latency,
+    table4_benchmarks,
+)
+from repro.harness.runner import ALL_MODES, run_grid
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return run_grid(benchmarks=["bfs_citation", "join_gaussian"], scale=0.12)
+
+
+class TestStaticTables:
+    def test_table2_rows(self):
+        exp = table2_configuration()
+        assert exp.experiment_id == "Table 2"
+        assert len(exp.rows) == 8
+
+    def test_table3_rows(self):
+        exp = table3_latency()
+        flat_costs = {row[0]: row[1] for row in exp.rows}
+        assert flat_costs["Kernel dispatching"] == 283
+
+    def test_table4_lists_all(self):
+        exp = table4_benchmarks()
+        assert len(exp.rows) == 16
+
+    def test_overhead(self):
+        exp = overhead_analysis()
+        assert exp.summary["AGT SRAM bytes"] == 20480
+
+    def test_render_includes_paper_values(self):
+        text = overhead_analysis().render()
+        assert "paper:" in text
+
+
+class TestGridFigures:
+    def test_fig6_structure(self, small_grid):
+        exp = figure6_warp_activity(small_grid)
+        assert isinstance(exp, Experiment)
+        assert {row[0] for row in exp.rows} == {"bfs_citation", "join_gaussian"}
+        assert "avg warp-activity gain (DTBL - flat, pp)" in exp.summary
+
+    def test_fig10_structure(self, small_grid):
+        exp = figure10_memory_footprint(small_grid)
+        for _name, cdp, dtbl, reduction in exp.rows:
+            assert cdp >= 0 and dtbl >= 0
+            assert reduction == pytest.approx(100.0 * (cdp - dtbl) / cdp, abs=0.1)
+
+    def test_fig11_structure(self, small_grid):
+        exp = figure11_speedup(small_grid)
+        assert exp.headers == ["benchmark", "CDPI", "DTBLI", "CDP", "DTBL"]
+        for row in exp.rows:
+            assert all(value > 0 for value in row[1:])
+
+    def test_all_modes_present(self, small_grid):
+        for mode in ALL_MODES:
+            assert small_grid.has("bfs_citation", mode)

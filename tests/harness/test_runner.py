@@ -1,0 +1,69 @@
+"""Harness runner: grid orchestration and memoization."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.harness.runner import (
+    BenchmarkRun,
+    GridResults,
+    clear_cache,
+    run_benchmark,
+    run_grid,
+)
+from repro.runtime import ExecutionMode
+from repro.workloads import benchmark_names
+
+
+SCALE = 0.08  # tiny datasets: the grid tests stay fast
+
+
+class TestRunBenchmark:
+    def test_returns_run(self):
+        run = run_benchmark("bfs_citation", ExecutionMode.FLAT, scale=SCALE)
+        assert isinstance(run, BenchmarkRun)
+        assert run.cycles > 0
+        assert run.wall_seconds >= 0
+
+    def test_memoized(self):
+        first = run_benchmark("bfs_citation", ExecutionMode.FLAT, scale=SCALE)
+        second = run_benchmark("bfs_citation", ExecutionMode.FLAT, scale=SCALE)
+        assert first is second
+
+    def test_cache_cleared(self):
+        first = run_benchmark("bfs_citation", ExecutionMode.FLAT, scale=SCALE)
+        clear_cache()
+        second = run_benchmark("bfs_citation", ExecutionMode.FLAT, scale=SCALE)
+        assert first is not second
+        assert first.cycles == second.cycles  # deterministic simulation
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            run_benchmark("nope", ExecutionMode.FLAT)
+
+
+class TestRunGrid:
+    def test_grid_subset(self):
+        grid = run_grid(
+            benchmarks=["bfs_citation"],
+            modes=(ExecutionMode.FLAT, ExecutionMode.DTBL_IDEAL),
+            scale=SCALE,
+        )
+        assert grid.benchmarks() == ["bfs_citation"]
+        assert grid.has("bfs_citation", ExecutionMode.FLAT)
+        assert grid.has("bfs_citation", ExecutionMode.DTBL_IDEAL)
+        assert not grid.has("bfs_citation", ExecutionMode.CDP)
+
+    def test_speedup(self):
+        grid = run_grid(
+            benchmarks=["bfs_citation"],
+            modes=(ExecutionMode.FLAT, ExecutionMode.DTBL_IDEAL),
+            scale=SCALE,
+        )
+        speedup = grid.speedup("bfs_citation", ExecutionMode.DTBL_IDEAL)
+        assert speedup > 0
+
+    def test_registry_covers_table4(self):
+        names = benchmark_names()
+        assert len(names) == 16
+        apps = {name.split("_")[0] for name in names}
+        assert apps == {"amr", "bht", "bfs", "clr", "regx", "pre", "join", "sssp"}

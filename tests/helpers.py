@@ -1,0 +1,71 @@
+"""Shared test utilities: tiny kernels and devices."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import Device, ExecutionMode, GPUConfig, KernelBuilder, KernelFunction
+
+
+def make_device(
+    mode: ExecutionMode = ExecutionMode.FLAT,
+    config: Optional[GPUConfig] = None,
+    **kwargs,
+) -> Device:
+    """A K20c-configured device (tests that want speed pass GPUConfig.small())."""
+    return Device(config=config or GPUConfig.k20c(), mode=mode, **kwargs)
+
+
+def map_kernel(name: str, body) -> KernelFunction:
+    """Kernel over params [n, in_addr, out_addr]: out[i] = body(k, in[i]).
+
+    ``body(k, value_reg)`` must return the register holding the result and
+    may emit arbitrary instructions through the builder ``k``.
+    """
+    k = KernelBuilder(name)
+    gtid = k.gtid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    with k.if_(k.lt(gtid, n)):
+        src = k.ld(param, offset=1)
+        dst = k.ld(param, offset=2)
+        value = k.ld(k.iadd(src, gtid))
+        result = body(k, value)
+        k.st(k.iadd(dst, gtid), result)
+    k.exit()
+    return KernelFunction(name, k.build())
+
+
+def run_map_kernel(
+    func: KernelFunction,
+    data: np.ndarray,
+    mode: ExecutionMode = ExecutionMode.FLAT,
+    block: int = 128,
+    config: Optional[GPUConfig] = None,
+) -> np.ndarray:
+    """Run a map kernel built by :func:`map_kernel` over ``data``."""
+    dev = make_device(mode, config)
+    dev.register(func)
+    n = len(data)
+    src = dev.upload(np.asarray(data, dtype=np.int64))
+    dst = dev.alloc(max(1, n))
+    dev.launch(func.name, grid=(n + block - 1) // block, block=block, params=[n, src, dst])
+    dev.synchronize()
+    return dev.download_ints(dst, n)
+
+
+def reduce_kernel(name: str = "sum_reduce") -> KernelFunction:
+    """Kernel over params [n, in_addr, out_addr]: atomically sums in[0:n]."""
+    k = KernelBuilder(name)
+    gtid = k.gtid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    with k.if_(k.lt(gtid, n)):
+        src = k.ld(param, offset=1)
+        out = k.ld(param, offset=2)
+        value = k.ld(k.iadd(src, gtid))
+        k.atom_add(out, value)
+    k.exit()
+    return KernelFunction(name, k.build())

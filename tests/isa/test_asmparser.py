@@ -1,0 +1,151 @@
+"""Text assembler: parsing, errors, and builder round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import Device, KernelBuilder, KernelFunction
+from repro.errors import AssemblyError
+from repro.isa import Opcode
+from repro.isa.asmparser import parse_program
+
+from tests.helpers import make_device, map_kernel, run_map_kernel
+
+
+SCALE_ASM = """
+.kernel scale
+; out[i] = x[i] * 3 for i < n
+read_special %r0 gtid
+read_special %r1 param
+ld %r2 %r1 off=0
+setp %r3 %r0 %r2 lt
+bra ->end @!%r3 reconv=end
+ld %r4 %r1 off=1
+iadd %r5 %r4 %r0
+ld %r6 %r5
+imul %r7 %r6 #3
+ld %r8 %r1 off=2
+iadd %r9 %r8 %r0
+st %r9 %r7
+end:
+join
+exit
+"""
+
+
+class TestParsing:
+    def test_parse_and_execute(self):
+        program = parse_program(SCALE_ASM)
+        assert program.name == "scale"
+        func = KernelFunction("scale", program)
+        dev = make_device()
+        dev.register(func)
+        n = 200
+        src = dev.upload(np.arange(n))
+        dst = dev.alloc(n)
+        dev.launch("scale", grid=4, block=64, params=[n, src, dst])
+        dev.synchronize()
+        np.testing.assert_array_equal(dev.download_ints(dst, n), np.arange(n) * 3)
+
+    def test_comments_and_blank_lines(self):
+        program = parse_program("""
+.kernel c
+; full line comment
+nop   ; trailing comment
+nop   # hash comment
+exit
+""")
+        ops = [i.op for i in program.instructions]
+        assert ops == [Opcode.NOP, Opcode.NOP, Opcode.EXIT]
+
+    def test_float_immediates(self):
+        program = parse_program("fadd %f0 #1.5 #2.25\nexit\n")
+        instr = program.instructions[0]
+        assert instr.a.value == 1.5
+        assert instr.b.value == 2.25
+
+    def test_launch_syntax(self):
+        program = parse_program(
+            "get_param_buf %r0 size=4\n"
+            "launch_agg %r0 kernel=child agg=(%r1,1,1) block=(32)\n"
+            "exit\n"
+        )
+        launch = program.instructions[1]
+        assert launch.kernel == "child"
+        assert launch.grid_dims[0].idx == 1
+        assert launch.block_dims[0].value == 32
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError, match="unknown opcode"):
+            parse_program("frobnicate %r0\n")
+
+    def test_missing_destination(self):
+        with pytest.raises(AssemblyError, match="destination"):
+            parse_program("iadd #1 #2\n")
+
+    def test_setp_needs_comparison(self):
+        with pytest.raises(AssemblyError, match="comparison"):
+            parse_program("setp %r0 %r1 %r2\n")
+
+    def test_bra_needs_target(self):
+        with pytest.raises(AssemblyError, match="target"):
+            parse_program("bra @%r0 reconv=x\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblyError, match="bad operand"):
+            parse_program("mov %r0 %%oops\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            parse_program("x:\nnop\nx:\nexit\n")
+
+
+class TestRoundTrip:
+    def behavior(self, func: KernelFunction, data: np.ndarray) -> np.ndarray:
+        return run_map_kernel(func, data)
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            lambda k, v: k.iadd(k.imul(v, 5), 1),
+            lambda k, v: k.selp(k.lt(v, 8), v, k.ineg(v)),
+        ],
+        ids=["arith", "select"],
+    )
+    def test_simple_roundtrip(self, body):
+        original = map_kernel("rt", body)
+        text = original.program.to_assembly()
+        reparsed = parse_program(text)
+        func2 = KernelFunction("rt", reparsed)
+        data = np.arange(64)
+        np.testing.assert_array_equal(
+            self.behavior(original, data), self.behavior(func2, data)
+        )
+
+    def test_divergent_roundtrip(self):
+        def body(k, v):
+            acc = k.mov(0)
+            with k.for_range(0, v) as i:
+                with k.if_(k.eq(k.imod(i, 3), 0)):
+                    k.iadd(acc, i, dst=acc)
+            return acc
+
+        original = map_kernel("rt_div", body)
+        text = original.program.to_assembly()
+        func2 = KernelFunction("rt_div", parse_program(text))
+        data = np.arange(48) % 11
+        np.testing.assert_array_equal(
+            self.behavior(original, data), self.behavior(func2, data)
+        )
+
+    def test_to_assembly_requires_finalized(self):
+        from repro.isa.program import Program
+
+        with pytest.raises(AssemblyError):
+            Program("x").to_assembly()
+
+    def test_assembly_text_is_stable(self):
+        func = map_kernel("stable", lambda k, v: k.iadd(v, 1))
+        text1 = func.program.to_assembly()
+        text2 = parse_program(text1).to_assembly().replace(".kernel stable", ".kernel stable")
+        # Reparsing canonical text yields identical canonical text.
+        assert parse_program(text1).to_assembly() == text2

@@ -1,0 +1,191 @@
+"""Tests for the KernelBuilder DSL: emission shapes and execution semantics."""
+
+import numpy as np
+import pytest
+
+from repro import ExecutionMode, KernelBuilder, KernelFunction
+from repro.errors import AssemblyError
+from repro.isa import Opcode
+
+from tests.helpers import map_kernel, run_map_kernel
+
+
+class TestEmission:
+    def test_if_emits_branch_with_reconv(self):
+        k = KernelBuilder("t")
+        pred = k.lt(k.mov(1), 2)
+        with k.if_(pred):
+            k.nop()
+        prog = k.build()
+        branches = [i for i in prog.instructions if i.op == Opcode.BRA]
+        assert len(branches) == 1
+        assert branches[0].reconv is not None
+        # The reconvergence point must be a JOIN.
+        assert prog.instructions[branches[0].reconv].op == Opcode.JOIN
+
+    def test_while_emits_back_edge(self):
+        k = KernelBuilder("t")
+        i = k.mov(0)
+        with k.while_(lambda: k.lt(i, 5)):
+            k.iadd(i, 1, dst=i)
+        prog = k.build()
+        branches = [ins for ins in prog.instructions if ins.op == Opcode.BRA]
+        assert len(branches) == 2  # exit branch + back edge
+        back = branches[1]
+        assert back.pred is None
+        assert back.target < prog.instructions.index(back)
+
+    def test_for_range_rejects_bad_step(self):
+        k = KernelBuilder("t")
+        with pytest.raises(AssemblyError):
+            with k.for_range(0, 10, step=0):
+                pass
+
+    def test_register_banks_disjoint(self):
+        k = KernelBuilder("t")
+        a = k.ireg()
+        b = k.freg()
+        assert a != b
+        assert repr(a).startswith("%r")
+        assert repr(b).startswith("%f")
+
+    def test_operand_coercion_rejects_junk(self):
+        k = KernelBuilder("t")
+        with pytest.raises(AssemblyError):
+            k.iadd("not-an-operand", 1)  # type: ignore[arg-type]
+
+    def test_param_buffer_size_positive(self):
+        k = KernelBuilder("t")
+        with pytest.raises(AssemblyError):
+            k.get_param_buffer(0)
+
+    def test_launch_dims_validation(self):
+        k = KernelBuilder("t")
+        buf = k.get_param_buffer(1)
+        with pytest.raises(AssemblyError):
+            k.launch_device("c", buf, grid=(1, 1, 1, 1), block=32)
+
+
+class TestExecutionSemantics:
+    """End-to-end checks that DSL constructs compute what they claim."""
+
+    def test_arithmetic_pipeline(self):
+        func = map_kernel("arith", lambda k, v: k.isub(k.imul(k.iadd(v, 3), 2), 1))
+        data = np.arange(50)
+        out = run_map_kernel(func, data)
+        np.testing.assert_array_equal(out, (data + 3) * 2 - 1)
+
+    def test_selp(self):
+        func = map_kernel("selp", lambda k, v: k.selp(k.lt(v, 10), v, 10))
+        data = np.arange(25)
+        out = run_map_kernel(func, data)
+        np.testing.assert_array_equal(out, np.minimum(data, 10))
+
+    def test_if_else(self):
+        def body(k, v):
+            result = k.mov(0)
+            k.if_else(
+                k.lt(v, 16),
+                lambda: k.imul(v, 2, dst=result),
+                lambda: k.iadd(v, 100, dst=result),
+            )
+            return result
+
+        func = map_kernel("ifelse", body)
+        data = np.arange(40)
+        out = run_map_kernel(func, data)
+        expected = np.where(data < 16, data * 2, data + 100)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_data_dependent_loop(self):
+        # out[i] = sum(0..v) computed with a while loop: trip count varies
+        # per lane, exercising divergent loop exit.
+        def body(k, v):
+            acc = k.mov(0)
+            i = k.mov(0)
+            with k.while_(lambda: k.le(i, v)):
+                k.iadd(acc, i, dst=acc)
+                k.iadd(i, 1, dst=i)
+            return acc
+
+        func = map_kernel("trisum", body)
+        data = np.arange(70) % 13
+        out = run_map_kernel(func, data)
+        expected = np.array([sum(range(v + 1)) for v in data])
+        np.testing.assert_array_equal(out, expected)
+
+    def test_nested_divergence(self):
+        # Nested if inside a data-dependent loop.
+        def body(k, v):
+            acc = k.mov(0)
+            with k.for_range(0, v) as i:
+                with k.if_(k.eq(k.imod(i, 2), 0)):
+                    k.iadd(acc, i, dst=acc)
+            return acc
+
+        func = map_kernel("evens", body)
+        data = (np.arange(64) % 9) + 1
+        out = run_map_kernel(func, data)
+        expected = np.array([sum(i for i in range(v) if i % 2 == 0) for v in data])
+        np.testing.assert_array_equal(out, expected)
+
+    def test_float_math(self):
+        def body(k, v):
+            fv = k.itof(v)
+            root = k.fsqrt(k.fmul(fv, fv))
+            return k.ftoi(k.fadd(root, 0.5))
+
+        func = map_kernel("fsqrt", body)
+        data = np.arange(33)
+        out = run_map_kernel(func, data)
+        np.testing.assert_array_equal(out, data)  # sqrt(v*v) == v
+
+    def test_float_compare_and_mix(self):
+        def body(k, v):
+            fv = k.itof(v)
+            p = k.fgt_(fv, 10.0)
+            return k.selp(p, 1, 0)
+
+        func = map_kernel("fcmp", body)
+        data = np.arange(20)
+        out = run_map_kernel(func, data)
+        np.testing.assert_array_equal(out, (data > 10).astype(int))
+
+    def test_bit_ops(self):
+        def body(k, v):
+            return k.ixor(k.ior(k.iand(v, 12), k.ishl(v, 2)), k.ishr(v, 1))
+
+        func = map_kernel("bits", body)
+        data = np.arange(100)
+        out = run_map_kernel(func, data)
+        expected = ((data & 12) | (data << 2)) ^ (data >> 1)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_register_demand_reported(self):
+        k = KernelBuilder("t")
+        k.iadd(k.mov(1), k.mov(2))
+        n_int, n_flt = k.register_demand
+        assert n_int >= 3
+        assert n_flt == 0
+
+
+class TestDivisionSemantics:
+    """idiv/imod are floor division (Python semantics; see docs/isa.md)."""
+
+    def test_floor_division_pinned(self):
+        func = map_kernel("divneg", lambda k, v: k.idiv(v, 4))
+        data = np.array([-9, -8, -1, 0, 1, 8, 9])
+        out = run_map_kernel(func, data)
+        np.testing.assert_array_equal(out, data // 4)  # floor, not trunc
+
+    def test_mod_sign_follows_divisor(self):
+        func = map_kernel("modneg", lambda k, v: k.imod(v, 4))
+        data = np.array([-9, -1, 0, 1, 9])
+        out = run_map_kernel(func, data)
+        np.testing.assert_array_equal(out, data % 4)
+
+    def test_division_by_zero_guarded(self):
+        func = map_kernel("div0", lambda k, v: k.idiv(v, 0))
+        data = np.array([5, 10])
+        out = run_map_kernel(func, data)
+        np.testing.assert_array_equal(out, data)  # divisor treated as 1

@@ -1,0 +1,159 @@
+"""Peephole optimizer: transformations and semantic preservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import KernelFunction
+from repro.errors import AssemblyError
+from repro.isa import Imm, Opcode, Program
+from repro.isa.optimizer import (
+    constant_fold,
+    dead_code_elimination,
+    optimize,
+    optimized_copy,
+)
+
+from tests.helpers import map_kernel, run_map_kernel
+from tests.test_random_programs import _ast, emit, evaluate
+
+
+def count_ops(program: Program, op: Opcode) -> int:
+    return sum(1 for i in program.instructions if i.op == op)
+
+
+class TestConstantFolding:
+    def build(self, body):
+        from repro import KernelBuilder
+
+        k = KernelBuilder("t")
+        body(k)
+        return k.program  # unfinalized
+
+    def test_folds_constant_chain(self):
+        prog = self.build(lambda k: k.iadd(k.imul(k.mov(6), 7), 8))
+        folded = constant_fold(prog)
+        movs = [i for i in folded.instructions if i.op == Opcode.MOV]
+        assert any(isinstance(i.a, Imm) and i.a.value == 50 for i in movs)
+        assert count_ops(folded, Opcode.IMUL) == 0
+        assert count_ops(folded, Opcode.IADD) == 0
+
+    def test_identity_add_zero(self):
+        prog = self.build(lambda k: k.iadd(k.tid(), 0))
+        folded = constant_fold(prog)
+        assert count_ops(folded, Opcode.IADD) == 0
+
+    def test_multiply_by_zero(self):
+        prog = self.build(lambda k: k.imul(k.tid(), 0))
+        folded = constant_fold(prog)
+        assert count_ops(folded, Opcode.IMUL) == 0
+
+    def test_non_constant_untouched(self):
+        prog = self.build(lambda k: k.iadd(k.tid(), k.tid()))
+        folded = constant_fold(prog)
+        assert count_ops(folded, Opcode.IADD) == 1
+
+    def test_state_resets_at_labels(self):
+        # A register constant before a label must not fold after it (a
+        # branch may enter with a different value).
+        from repro import KernelBuilder
+
+        k = KernelBuilder("t")
+        x = k.mov(5)
+        with k.while_(lambda: k.lt(x, 10)):
+            k.iadd(x, 1, dst=x)
+        y = k.iadd(x, 2)  # x is NOT 5 here
+        folded = constant_fold(k.program)
+        adds = [i for i in folded.instructions if i.op == Opcode.IADD]
+        assert len(adds) == 2  # neither add folded away
+
+
+class TestDeadCode:
+    def test_unused_result_removed(self):
+        from repro import KernelBuilder
+
+        k = KernelBuilder("t")
+        k.imul(k.mov(3), 4)  # never used
+        k.nop()
+        cleaned = dead_code_elimination(k.program)
+        assert count_ops(cleaned, Opcode.IMUL) == 0
+        assert count_ops(cleaned, Opcode.NOP) == 1
+        # One DCE pass keeps the mov (it was read by the removed imul);
+        # a second pass cascades it away.
+        cleaned2 = dead_code_elimination(cleaned)
+        assert count_ops(cleaned2, Opcode.MOV) == 0
+
+    def test_stores_never_removed(self):
+        from repro import KernelBuilder
+
+        k = KernelBuilder("t")
+        k.st(k.mov(10), 42)
+        cleaned = dead_code_elimination(k.program)
+        assert count_ops(cleaned, Opcode.ST) == 1
+        assert count_ops(cleaned, Opcode.MOV) == 1  # address is read
+
+    def test_atomics_never_removed(self):
+        from repro import KernelBuilder
+
+        k = KernelBuilder("t")
+        k.atom_add(k.mov(10), 1)  # result unread, but side-effecting
+        cleaned = dead_code_elimination(k.program)
+        assert count_ops(cleaned, Opcode.ATOM_ADD) == 1
+
+
+class TestPipeline:
+    def test_requires_unfinalized(self):
+        prog = Program("t")
+        prog.finalize()
+        with pytest.raises(AssemblyError):
+            optimize(prog)
+
+    def test_optimized_copy_requires_finalized(self):
+        with pytest.raises(AssemblyError):
+            optimized_copy(Program("t"))
+
+    def test_behavior_preserved_on_map_kernel(self):
+        def body(k, v):
+            base = k.imul(k.mov(3), k.mov(4))  # folds to 12
+            waste = k.iadd(v, 99)  # dead
+            return k.iadd(v, base)
+
+        original = map_kernel("opt", body)
+        optimized = KernelFunction("opt", optimized_copy(original.program))
+        assert len(optimized.program) < len(original.program)
+        data = np.arange(50)
+        np.testing.assert_array_equal(
+            run_map_kernel(original, data), run_map_kernel(optimized, data)
+        )
+
+    def test_register_demand_can_shrink(self):
+        def body(k, v):
+            k.imul(k.mov(3), k.mov(4))  # dead chain
+            return k.mov(v)
+
+        original = map_kernel("shrink", body)
+        optimized_prog = optimized_copy(original.program)
+        assert len(optimized_prog) < len(original.program)
+
+
+class TestPropertyPreservation:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        nodes=_ast(depth=2),
+        data=st.lists(st.integers(-25, 25), min_size=1, max_size=48),
+    )
+    def test_random_programs_unchanged_by_optimizer(self, nodes, data):
+        def body(k, v):
+            acc = k.mov(v)
+            emit(k, acc, nodes)
+            return acc
+
+        original = map_kernel("rand_opt", body)
+        optimized = KernelFunction("rand_opt", optimized_copy(original.program))
+        arr = np.asarray(data, dtype=np.int64)
+        np.testing.assert_array_equal(
+            run_map_kernel(original, arr), run_map_kernel(optimized, arr)
+        )
+        # And the oracle agrees with both.
+        expected = np.array([evaluate(int(v), nodes) for v in data], dtype=np.int64)
+        np.testing.assert_array_equal(run_map_kernel(optimized, arr), expected)

@@ -1,0 +1,72 @@
+"""Tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory import Cache
+
+
+def small_cache(assoc=2, sets=4, line=128):
+    return Cache(size_bytes=line * assoc * sets, line_bytes=line, assoc=assoc)
+
+
+class TestGeometry:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            Cache(0, 128, 8)
+        with pytest.raises(ConfigError):
+            Cache(128, 128, 2)  # one line, assoc 2
+
+    def test_sets_computed(self):
+        cache = small_cache(assoc=2, sets=4)
+        assert cache.num_sets == 4
+        assert cache.assoc == 2
+
+
+class TestBehaviour:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_lru_eviction(self):
+        cache = small_cache(assoc=2, sets=1, line=128)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 0 becomes MRU; LRU is 1
+        cache.access(2)  # evicts 1
+        assert cache.access(0) is True
+        assert cache.access(1) is False
+        assert cache.stats.evictions >= 1
+
+    def test_set_mapping_isolates(self):
+        cache = small_cache(assoc=1, sets=4)
+        cache.access(0)
+        cache.access(1)  # different set, no conflict
+        assert cache.access(0) is True
+
+    def test_conflict_in_same_set(self):
+        cache = small_cache(assoc=1, sets=4)
+        cache.access(0)
+        cache.access(4)  # same set (0 % 4 == 4 % 4), evicts 0
+        assert cache.access(0) is False
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.access(7)
+        cache.flush()
+        assert cache.access(7) is False
+
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.access(3)
+        cache.access(3)
+        cache.access(3)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_contents_by_set(self):
+        cache = small_cache(assoc=2, sets=2)
+        cache.access(0)
+        cache.access(2)
+        contents = cache.contents_by_set()
+        assert 0 in contents

@@ -1,0 +1,49 @@
+"""Tests for the warp memory coalescer."""
+
+import numpy as np
+
+from repro.config import SEGMENT_WORDS, WARP_SIZE
+from repro.memory import CoalescingStats, coalesce_addresses
+
+
+class TestCoalescing:
+    def test_consecutive_words_coalesce(self):
+        # 32 consecutive 8-byte words = 256 bytes = 2 x 128B segments.
+        addrs = np.arange(WARP_SIZE, dtype=np.int64)
+        assert coalesce_addresses(addrs).size == 2
+
+    def test_same_address_is_one_transaction(self):
+        addrs = np.full(WARP_SIZE, 1234, dtype=np.int64)
+        assert coalesce_addresses(addrs).size == 1
+
+    def test_fully_scattered_is_one_per_lane(self):
+        # Strided by one segment each: no two lanes share a segment.
+        addrs = np.arange(WARP_SIZE, dtype=np.int64) * SEGMENT_WORDS
+        assert coalesce_addresses(addrs).size == WARP_SIZE
+
+    def test_empty_mask(self):
+        addrs = np.empty(0, dtype=np.int64)
+        assert coalesce_addresses(addrs).size == 0
+
+    def test_alignment_split(self):
+        # 32 consecutive words starting mid-segment span 3 segments.
+        addrs = np.arange(WARP_SIZE, dtype=np.int64) + SEGMENT_WORDS // 2
+        assert coalesce_addresses(addrs).size == 3
+
+    def test_segments_are_sorted_unique(self):
+        addrs = np.array([100, 5, 100, 5, 200], dtype=np.int64) * SEGMENT_WORDS
+        segs = coalesce_addresses(addrs)
+        assert list(segs) == sorted(set(segs))
+
+
+class TestCoalescingStats:
+    def test_average(self):
+        stats = CoalescingStats()
+        stats.record(32, 2)
+        stats.record(32, 32)
+        assert stats.average_transactions == 17.0
+        assert stats.histogram[2] == 1
+        assert stats.histogram[32] == 1
+
+    def test_empty_average(self):
+        assert CoalescingStats().average_transactions == 0.0

@@ -1,0 +1,71 @@
+"""Tests for the functional global-memory store and allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import GlobalMemory
+
+
+class TestAllocator:
+    def test_word_zero_reserved_as_null(self):
+        mem = GlobalMemory(1024)
+        assert mem.alloc(4) != 0
+
+    def test_sequential_allocation(self):
+        mem = GlobalMemory(1024)
+        a = mem.alloc(10)
+        b = mem.alloc(10)
+        assert b == a + 10
+
+    def test_exhaustion_raises(self):
+        mem = GlobalMemory(64)
+        with pytest.raises(MemoryError_):
+            mem.alloc(64)
+
+    def test_zero_alloc_rejected(self):
+        mem = GlobalMemory(64)
+        with pytest.raises(MemoryError_):
+            mem.alloc(0)
+
+    def test_bytes_in_use(self):
+        mem = GlobalMemory(1024)
+        mem.alloc(10)
+        assert mem.bytes_in_use == 11 * 8  # null word + 10
+
+
+class TestViews:
+    def test_int_float_views_share_storage(self):
+        mem = GlobalMemory(64)
+        addr = mem.alloc(1)
+        mem.f[addr] = 1.0
+        # Bit pattern of 1.0 as int64.
+        assert mem.i[addr] == np.float64(1.0).view(np.int64)
+
+    def test_alloc_array_int(self):
+        mem = GlobalMemory(1024)
+        base = mem.alloc_array(np.arange(16))
+        np.testing.assert_array_equal(mem.read_ints(base, 16), np.arange(16))
+
+    def test_alloc_array_float(self):
+        mem = GlobalMemory(1024)
+        values = np.linspace(0.0, 1.0, 8)
+        base = mem.alloc_array(values)
+        np.testing.assert_allclose(mem.read_floats(base, 8), values)
+
+    def test_scalar_roundtrip(self):
+        mem = GlobalMemory(64)
+        addr = mem.alloc(2)
+        mem.write_int(addr, -7)
+        mem.write_float(addr + 1, 2.5)
+        assert mem.read_int(addr) == -7
+        assert mem.read_float(addr + 1) == 2.5
+
+    def test_bounds_checked(self):
+        mem = GlobalMemory(64)
+        with pytest.raises(MemoryError_):
+            mem.read_int(64)
+        with pytest.raises(MemoryError_):
+            mem.write_int(-1, 0)
+        with pytest.raises(MemoryError_):
+            mem.read_ints(60, 8)

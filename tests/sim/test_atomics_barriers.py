@@ -1,0 +1,180 @@
+"""Atomics and block barriers under contention."""
+
+import numpy as np
+
+from repro import KernelBuilder, KernelFunction
+
+from tests.helpers import make_device, reduce_kernel
+
+
+def launch_single(func, params, grid, block):
+    dev = make_device()
+    dev.register(func)
+    dev.launch(func.name, grid=grid, block=block, params=params)
+    dev.synchronize()
+    return dev
+
+
+class TestAtomics:
+    def test_atom_add_counts_all_threads(self):
+        k = KernelBuilder("count")
+        param = k.param()
+        out = k.ld(param, offset=0)
+        k.atom_add(out, 1)
+        k.exit()
+        func = KernelFunction("count", k.build())
+        dev = make_device()
+        dev.register(func)
+        out = dev.alloc(1)
+        dev.launch("count", grid=5, block=96, params=[out])
+        dev.synchronize()
+        assert dev.read_int(out) == 5 * 96
+
+    def test_atom_add_returns_unique_slots(self):
+        # Classic queue-append: each thread reserves a unique index.
+        k = KernelBuilder("reserve")
+        gtid = k.gtid()
+        param = k.param()
+        counter = k.ld(param, offset=0)
+        slots = k.ld(param, offset=1)
+        idx = k.atom_add(counter, 1)
+        k.st(k.iadd(slots, idx), gtid)
+        k.exit()
+        func = KernelFunction("reserve", k.build())
+        dev = make_device()
+        dev.register(func)
+        n = 4 * 64
+        counter = dev.alloc(1)
+        slots = dev.alloc(n)
+        dev.launch("reserve", grid=4, block=64, params=[counter, slots])
+        dev.synchronize()
+        assert dev.read_int(counter) == n
+        got = np.sort(dev.download_ints(slots, n))
+        np.testing.assert_array_equal(got, np.arange(n))
+
+    def test_atom_min_max(self):
+        k = KernelBuilder("minmax")
+        gtid = k.gtid()
+        param = k.param()
+        lo = k.ld(param, offset=0)
+        hi = k.ld(param, offset=1)
+        k.atom_min(lo, gtid)
+        k.atom_max(hi, gtid)
+        k.exit()
+        func = KernelFunction("minmax", k.build())
+        dev = make_device()
+        dev.register(func)
+        lo = dev.alloc(1)
+        hi = dev.alloc(1)
+        dev.write_int(lo, 1 << 40)
+        dev.write_int(hi, -1)
+        dev.launch("minmax", grid=3, block=64, params=[lo, hi])
+        dev.synchronize()
+        assert dev.read_int(lo) == 0
+        assert dev.read_int(hi) == 3 * 64 - 1
+
+    def test_atom_cas_claims_once(self):
+        # All threads CAS 0->1 on one flag and count successful claims.
+        k = KernelBuilder("cas")
+        param = k.param()
+        flag = k.ld(param, offset=0)
+        winners = k.ld(param, offset=1)
+        old = k.atom_cas(flag, 0, 1)
+        with k.if_(k.eq(old, 0)):
+            k.atom_add(winners, 1)
+        k.exit()
+        func = KernelFunction("cas", k.build())
+        dev = make_device()
+        dev.register(func)
+        flag = dev.alloc(1)
+        winners = dev.alloc(1)
+        dev.launch("cas", grid=4, block=128, params=[flag, winners])
+        dev.synchronize()
+        assert dev.read_int(flag) == 1
+        assert dev.read_int(winners) == 1
+
+    def test_atom_exch_and_or(self):
+        k = KernelBuilder("exor")
+        gtid = k.gtid()
+        param = k.param()
+        bits = k.ld(param, offset=0)
+        last = k.ld(param, offset=1)
+        k.atom_or(bits, k.ishl(1, k.imod(gtid, 60)))
+        k.atom_exch(last, gtid)
+        k.exit()
+        func = KernelFunction("exor", k.build())
+        dev = make_device()
+        dev.register(func)
+        bits = dev.alloc(1)
+        last = dev.alloc(1)
+        dev.launch("exor", grid=2, block=32, params=[bits, last])
+        dev.synchronize()
+        assert dev.read_int(bits) == (1 << 60) - 1
+        assert 0 <= dev.read_int(last) < 64
+
+
+class TestBarriers:
+    def test_barrier_orders_shared_memory(self):
+        # Stage 1: thread t writes shared[t]; barrier; stage 2: thread t
+        # reads shared[t^1] — correct only if the barrier is honoured.
+        k = KernelBuilder("barrier")
+        tid = k.tid()
+        param = k.param()
+        out = k.ld(param, offset=0)
+        k.sts(tid, k.imul(tid, 3))
+        k.bar()
+        partner = k.ixor(tid, 1)
+        value = k.lds(partner)
+        k.st(k.iadd(out, k.iadd(k.imul(k.ctaid(), k.ntid()), tid)), value)
+        k.exit()
+        func = KernelFunction("barrier", k.build(), shared_words=256)
+        dev = make_device()
+        dev.register(func)
+        block = 128
+        out = dev.alloc(2 * block)
+        dev.launch("barrier", grid=2, block=block, params=[out])
+        dev.synchronize()
+        got = dev.download_ints(out, 2 * block)
+        tids = np.tile(np.arange(block), 2)
+        np.testing.assert_array_equal(got, (tids ^ 1) * 3)
+
+    def test_multi_barrier_rounds(self):
+        # Iterative doubling in shared memory with a barrier between rounds.
+        k = KernelBuilder("scan")
+        tid = k.tid()
+        param = k.param()
+        out = k.ld(param, offset=0)
+        k.sts(tid, 1)
+        k.bar()
+        for stride in (1, 2, 4, 8, 16, 32):
+            val = k.lds(tid)
+            prev_idx = k.isub(tid, stride)
+            with k.if_(k.ge(prev_idx, 0)):
+                prev = k.lds(prev_idx)
+                k.iadd(val, prev, dst=val)
+            k.bar()
+            k.sts(tid, val)
+            k.bar()
+        k.st(k.iadd(out, tid), k.lds(tid))
+        k.exit()
+        func = KernelFunction("scan", k.build(), shared_words=64)
+        dev = make_device()
+        dev.register(func)
+        out = dev.alloc(64)
+        dev.launch("scan", grid=1, block=64, params=[out])
+        dev.synchronize()
+        got = dev.download_ints(out, 64)
+        np.testing.assert_array_equal(got, np.arange(1, 65))  # inclusive scan of ones
+
+
+class TestReduceHelper:
+    def test_reduce_kernel(self):
+        func = reduce_kernel()
+        dev = make_device()
+        dev.register(func)
+        data = np.arange(500)
+        src = dev.upload(data)
+        out = dev.alloc(1)
+        dev.launch(func.name, grid=4, block=128, params=[500, src, out])
+        dev.synchronize()
+        assert dev.read_int(out) == data.sum()

@@ -1,0 +1,92 @@
+"""Concurrent kernel execution (Section 2.3) and occupancy accounting."""
+
+import numpy as np
+
+from repro import Device, ExecutionMode, GPUConfig, KernelBuilder, KernelFunction
+
+
+def spin_kernel(name: str, iters: int) -> KernelFunction:
+    """Busy kernel: every thread loops ``iters`` times, then bumps out[0]."""
+    k = KernelBuilder(name)
+    param = k.param()
+    out = k.ld(param, offset=0)
+    acc = k.mov(0)
+    with k.for_range(0, iters) as i:
+        k.iadd(acc, i, dst=acc)
+    tid = k.tid()
+    with k.if_(k.eq(tid, 0)):
+        k.atom_add(out, 1)
+    k.exit()
+    return KernelFunction(name, k.build())
+
+
+class TestConcurrentKernels:
+    def test_independent_streams_overlap(self):
+        # Two kernels in different streams must overlap: their combined
+        # runtime is well below twice a single kernel's runtime.
+        def run(kernel_count: int) -> int:
+            dev = Device()
+            dev.register(spin_kernel("spin", 600))
+            out = dev.alloc(1)
+            for i in range(kernel_count):
+                dev.launch("spin", grid=4, block=128, params=[out], stream=i)
+            stats = dev.synchronize()
+            assert dev.read_int(out) == 4 * kernel_count
+            return stats.cycles
+
+        one = run(1)
+        four = run(4)
+        assert four < 2.5 * one  # 4 kernels in ~the time of <2.5
+
+    def test_same_stream_does_not_overlap(self):
+        def run(stream_ids) -> int:
+            dev = Device()
+            dev.register(spin_kernel("spin", 600))
+            out = dev.alloc(1)
+            for stream in stream_ids:
+                dev.launch("spin", grid=4, block=128, params=[out], stream=stream)
+            return dev.synchronize().cycles
+
+        serialized = run([0, 0, 0])
+        overlapped = run([0, 1, 2])
+        assert overlapped < serialized
+
+    def test_blocks_of_different_kernels_share_an_smx(self):
+        # A 1-SMX GPU running two small kernels concurrently: both finish,
+        # which requires co-residency of their blocks.
+        config = GPUConfig(
+            num_smx=1,
+            max_resident_blocks=8,
+            max_resident_threads=512,
+            registers_per_smx=65536,
+            agt_entries=64,
+        )
+        dev = Device(config=config)
+        dev.register(spin_kernel("a", 100))
+        dev.register(spin_kernel("b", 100))
+        out_a = dev.alloc(1)
+        out_b = dev.alloc(1)
+        dev.launch("a", grid=2, block=64, params=[out_a], stream=0)
+        dev.launch("b", grid=2, block=64, params=[out_b], stream=1)
+        dev.synchronize()
+        assert dev.read_int(out_a) == 2
+        assert dev.read_int(out_b) == 2
+
+    def test_occupancy_tracks_resident_warps(self):
+        dev = Device()
+        dev.register(spin_kernel("spin", 400))
+        out = dev.alloc(1)
+        dev.launch("spin", grid=26, block=256, params=[out])
+        stats = dev.synchronize()
+        assert stats.smx_occupancy_pct > 1.0
+        assert stats.smx_occupancy_pct <= 100.0
+
+    def test_more_blocks_than_capacity_drain_in_waves(self):
+        # 13 SMXs x 16 blocks = 208 resident max; launch 400 blocks.
+        dev = Device()
+        dev.register(spin_kernel("spin", 50))
+        out = dev.alloc(1)
+        dev.launch("spin", grid=400, block=64, params=[out])
+        dev.synchronize()
+        assert dev.read_int(out) == 400
+        assert dev.stats.blocks_completed == 400

@@ -1,0 +1,62 @@
+"""State-dump debugging helpers."""
+
+import numpy as np
+
+from repro import Device, KernelBuilder, KernelFunction
+from repro.sim.debug import dump_state, dump_warp
+
+from tests.helpers import make_device
+
+
+def paused_device():
+    """A device stopped mid-flight: launch work but don't run to idle."""
+    k = KernelBuilder("spin")
+    param = k.param()
+    out = k.ld(param, offset=0)
+    acc = k.mov(0)
+    with k.for_range(0, 2000) as i:
+        k.iadd(acc, i, dst=acc)
+    k.atom_add(out, acc)
+    k.exit()
+    dev = make_device()
+    dev.register(KernelFunction("spin", k.build()))
+    out = dev.alloc(1)
+    dev.launch("spin", grid=30, block=128, params=[out])
+    # Prime the machine without draining it: run the event loop briefly by
+    # stepping the GPU manually for a bounded number of cycles.
+    gpu = dev.gpu
+    import heapq
+
+    # 283 cycles of KMU dispatch latency precede any execution.
+    for _ in range(600):
+        while gpu._events and gpu._events[0][0] <= gpu.cycle:
+            _, _, fn = heapq.heappop(gpu._events)
+            fn(gpu.cycle)
+        for smx in gpu.smxs:
+            smx.tick(gpu.cycle)
+        gpu.cycle += 1
+    return dev
+
+
+class TestDumpState:
+    def test_mid_flight_snapshot(self):
+        dev = paused_device()
+        text = dump_state(dev.gpu)
+        assert "Kernel Distributor" in text
+        assert "spin" in text
+        assert "SMX" in text
+        assert "FCFS queue" in text
+        assert "AGT" in text
+
+    def test_idle_snapshot(self):
+        dev = make_device()
+        text = dump_state(dev.gpu)
+        assert "0/32 entries" in text
+        assert "(empty)" in text
+
+    def test_dump_warp(self):
+        dev = paused_device()
+        warp = dev.gpu.smxs[0].blocks[0].warps[0]
+        text = dump_warp(warp)
+        assert "frame[0]" in text
+        assert "kernel=spin" in text

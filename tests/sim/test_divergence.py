@@ -1,0 +1,147 @@
+"""SIMT / PDOM reconvergence behaviour and warp-activity accounting."""
+
+import numpy as np
+
+from repro import ExecutionMode, GPUConfig, KernelBuilder, KernelFunction
+
+from tests.helpers import make_device, map_kernel, run_map_kernel
+
+
+def run_and_stats(func, data, block=64):
+    dev = make_device()
+    dev.register(func)
+    n = len(data)
+    src = dev.upload(np.asarray(data, dtype=np.int64))
+    dst = dev.alloc(n)
+    dev.launch(func.name, grid=(n + block - 1) // block, block=block, params=[n, src, dst])
+    stats = dev.synchronize()
+    return dev.download_ints(dst, n), stats
+
+
+class TestReconvergence:
+    def test_divergent_if_reconverges(self):
+        # Half the lanes take the branch; all must write the epilogue value.
+        def body(k, v):
+            out = k.mov(1000)
+            with k.if_(k.lt(k.imod(v, 2), 1)):
+                k.iadd(out, 1, dst=out)
+            k.iadd(out, 10, dst=out)  # post-reconvergence: everyone
+            return out
+
+        func = map_kernel("div_if", body)
+        data = np.arange(64)
+        out, _ = run_and_stats(func, data)
+        expected = np.where(data % 2 == 0, 1011, 1010)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_uniform_branch_no_divergence_cost(self):
+        # A branch all lanes take together must not reduce warp activity.
+        def body(k, v):
+            out = k.mov(0)
+            with k.if_(k.ge(v, 0)):  # always true
+                k.iadd(out, 5, dst=out)
+            return out
+
+        func = map_kernel("uni", body)
+        data = np.arange(64)
+        out, stats = run_and_stats(func, data)
+        np.testing.assert_array_equal(out, np.full(64, 5))
+        assert stats.warp_activity_pct == 100.0
+
+    def test_divergence_lowers_warp_activity(self):
+        # Per-lane loop trip counts 0..31 serialize heavily.
+        def body(k, v):
+            acc = k.mov(0)
+            with k.for_range(0, v) as i:
+                k.iadd(acc, i, dst=acc)
+            return acc
+
+        func = map_kernel("ramp", body)
+        data = np.arange(64) % 32
+        out, stats = run_and_stats(func, data)
+        expected = np.array([v * (v - 1) // 2 for v in data])
+        np.testing.assert_array_equal(out, expected)
+        assert stats.warp_activity_pct < 75.0
+
+    def test_three_level_nesting(self):
+        def body(k, v):
+            acc = k.mov(0)
+            with k.if_(k.gt(v, 2)):
+                with k.for_range(0, 3) as i:
+                    with k.if_(k.eq(k.imod(k.iadd(v, i), 2), 0)):
+                        k.iadd(acc, 1, dst=acc)
+            return acc
+
+        func = map_kernel("nest3", body)
+        data = np.arange(48)
+        out, _ = run_and_stats(func, data)
+        expected = np.array(
+            [sum((v + i) % 2 == 0 for i in range(3)) if v > 2 else 0 for v in data]
+        )
+        np.testing.assert_array_equal(out, expected)
+
+    def test_partial_warp_tail_block(self):
+        # n not a multiple of block size: tail lanes must stay inactive.
+        func = map_kernel("tail", lambda k, v: k.iadd(v, 1))
+        data = np.arange(100)  # grid 2 x block 64, last block half empty
+        out, _ = run_and_stats(func, data, block=64)
+        np.testing.assert_array_equal(out, data + 1)
+
+    def test_while_loop_all_lanes_zero_trips(self):
+        def body(k, v):
+            acc = k.mov(7)
+            i = k.mov(10)
+            with k.while_(lambda: k.lt(i, 0)):
+                k.iadd(acc, 1, dst=acc)
+            return acc
+
+        func = map_kernel("zerotrip", body)
+        out, _ = run_and_stats(func, np.arange(32))
+        np.testing.assert_array_equal(out, np.full(32, 7))
+
+
+class TestBranchCounters:
+    def test_uniform_branches_counted(self):
+        func = map_kernel("u", lambda k, v: k.selp(k.ge(v, 0), v, 0))
+        _, stats = run_and_stats(func, np.arange(64))
+        assert stats.branches_diverged == 0
+        assert stats.branches_uniform > 0
+        assert stats.branch_divergence_rate == 0.0
+
+    def test_divergent_branches_counted(self):
+        def body(k, v):
+            out = k.mov(0)
+            with k.if_(k.lt(k.imod(v, 2), 1)):
+                k.iadd(out, 1, dst=out)
+            return out
+
+        func = map_kernel("d", body)
+        _, stats = run_and_stats(func, np.arange(64))
+        assert stats.branches_diverged >= 2  # one per warp at least
+        assert 0.0 < stats.branch_divergence_rate <= 1.0
+
+
+class TestWarpActivityMetric:
+    def test_activity_between_0_and_100(self):
+        func = map_kernel("id", lambda k, v: k.mov(v))
+        _, stats = run_and_stats(func, np.arange(96))
+        assert 0.0 < stats.warp_activity_pct <= 100.0
+
+    def test_balanced_beats_imbalanced(self):
+        def loop_body(k, v):
+            acc = k.mov(0)
+            with k.for_range(0, v) as i:
+                k.iadd(acc, i, dst=acc)
+            return acc
+
+        balanced = map_kernel("bal", loop_body)
+        imbalanced = map_kernel("imb", loop_body)
+
+        flat = np.full(64, 16)  # every lane loops 16x
+        _, s_bal = run_and_stats(balanced, flat)
+
+        skew = np.zeros(64, dtype=int)  # one lane per warp loops 512x
+        skew[::32] = 512
+        _, s_imb = run_and_stats(imbalanced, skew)
+
+        assert s_bal.warp_activity_pct > s_imb.warp_activity_pct

@@ -1,0 +1,105 @@
+"""Floating-point ISA coverage: ALU ops, memory views, conversions."""
+
+import numpy as np
+import pytest
+
+from repro import Device, KernelBuilder, KernelFunction
+
+from tests.helpers import make_device
+
+
+def run_float_map(body, data: np.ndarray) -> np.ndarray:
+    """out[i] = body(k, f[i]) over a float64 array."""
+    k = KernelBuilder("fmap")
+    gtid = k.gtid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    with k.if_(k.lt(gtid, n)):
+        src = k.ld(param, offset=1)
+        dst = k.ld(param, offset=2)
+        value = k.fld(k.iadd(src, gtid))
+        result = body(k, value)
+        k.fst(k.iadd(dst, gtid), result)
+    k.exit()
+    func = KernelFunction("fmap", k.build())
+    dev = make_device()
+    dev.register(func)
+    arr = np.asarray(data, dtype=np.float64)
+    src = dev.upload(arr)
+    dst = dev.alloc(len(arr))
+    dev.launch("fmap", grid=(len(arr) + 63) // 64, block=64, params=[len(arr), src, dst])
+    dev.synchronize()
+    return dev.download_floats(dst, len(arr))
+
+
+class TestFloatAlu:
+    def setup_method(self):
+        self.data = np.linspace(-4.0, 4.0, 40)
+
+    def test_fadd_fsub(self):
+        out = run_float_map(lambda k, v: k.fsub(k.fadd(v, 1.5), 0.25), self.data)
+        np.testing.assert_allclose(out, self.data + 1.25)
+
+    def test_fmul_fdiv(self):
+        out = run_float_map(lambda k, v: k.fdiv(k.fmul(v, 6.0), 3.0), self.data)
+        np.testing.assert_allclose(out, self.data * 2.0)
+
+    def test_fmin_fmax_clamp(self):
+        out = run_float_map(lambda k, v: k.fmin(k.fmax(v, -1.0), 1.0), self.data)
+        np.testing.assert_allclose(out, np.clip(self.data, -1.0, 1.0))
+
+    def test_fneg_fabs(self):
+        out = run_float_map(lambda k, v: k.fneg(k.fabs(v)), self.data)
+        np.testing.assert_allclose(out, -np.abs(self.data))
+
+    def test_fsqrt_of_abs(self):
+        out = run_float_map(lambda k, v: k.fsqrt(v), self.data)
+        np.testing.assert_allclose(out, np.sqrt(np.abs(self.data)))
+
+    def test_fmov_identity(self):
+        out = run_float_map(lambda k, v: k.fmov(v), self.data)
+        np.testing.assert_allclose(out, self.data)
+
+    def test_fdiv_by_zero_guarded(self):
+        out = run_float_map(lambda k, v: k.fdiv(v, 0.0), self.data)
+        # The simulator guards division by zero (divisor treated as 1).
+        np.testing.assert_allclose(out, self.data)
+
+
+class TestConversions:
+    def test_itof_ftoi_truncates(self):
+        data = np.array([0.0, 1.9, -1.9, 2.5, 1e6 + 0.7])
+        out = run_float_map(lambda k, v: k.itof(k.ftoi(v)), data)
+        np.testing.assert_allclose(out, np.trunc(data))
+
+    def test_int_regs_promote_in_float_context(self):
+        def body(k, v):
+            i = k.ftoi(v)
+            return k.fadd(i, 0.5)  # int reg read through the float path
+
+        out = run_float_map(body, np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(out, [1.5, 2.5, 3.5])
+
+
+class TestFloatCompare:
+    def test_flt_fge(self):
+        k = KernelBuilder("fcmp")
+        gtid = k.gtid()
+        param = k.param()
+        n = k.ld(param, offset=0)
+        with k.if_(k.lt(gtid, n)):
+            src = k.ld(param, offset=1)
+            dst = k.ld(param, offset=2)
+            v = k.fld(k.iadd(src, gtid))
+            below = k.flt_(v, 0.0)
+            above = k.fge_(v, 2.0)
+            k.st(k.iadd(dst, gtid), k.iadd(k.imul(below, 10), above))
+        k.exit()
+        dev = make_device()
+        dev.register(KernelFunction("fcmp", k.build()))
+        data = np.array([-1.0, 0.0, 1.0, 2.0, 3.0])
+        src = dev.upload(data)
+        dst = dev.alloc(5)
+        dev.launch("fcmp", grid=1, block=32, params=[5, src, dst])
+        dev.synchronize()
+        np.testing.assert_array_equal(dev.download_ints(dst, 5), [10, 0, 0, 1, 1])

@@ -1,0 +1,68 @@
+"""Regression: KMU dispatch must reserve KDE entries.
+
+Scheduling a dispatch checks for a free Kernel Distributor entry, but the
+activation lands ``kernel_dispatch`` cycles later; without reservation a
+second dispatch decision made in between could promise the same entry and
+over-allocate (this crashed a full-grid run during development).  A tiny
+KDE plus a flood of device launches makes the window easy to hit.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import Device, ExecutionMode, GPUConfig, KernelBuilder, KernelFunction
+
+
+def flood_kernels():
+    child = KernelBuilder("child")
+    param = child.param()
+    out = child.ld(param, offset=0)
+    tid = child.tid()
+    with child.if_(child.eq(tid, 0)):
+        child.atom_add(out, 1)
+    child.exit()
+
+    parent = KernelBuilder("parent")
+    gtid = parent.gtid()
+    p = parent.param()
+    out = parent.ld(p, offset=0)
+    buf = parent.get_param_buffer(1)
+    parent.st(buf, out)
+    parent.stream_create()
+    parent.launch_device("child", buf, grid=1, block=32)
+    parent.exit()
+    return KernelFunction("child", child.build()), KernelFunction("parent", parent.build())
+
+
+class TestKmuReservation:
+    @pytest.mark.parametrize("kde_entries", [2, 4, 32])
+    def test_flood_never_overallocates(self, kde_entries):
+        config = dataclasses.replace(
+            GPUConfig.k20c(), max_concurrent_kernels=kde_entries
+        )
+        dev = Device(config=config, mode=ExecutionMode.CDP)
+        child, parent = flood_kernels()
+        dev.register(child)
+        dev.register(parent)
+        out = dev.alloc(1)
+        # 128 threads each launch a child: far more pending kernels than
+        # KDE entries, with the 283-cycle dispatch latency in play.
+        dev.launch("parent", grid=4, block=32, params=[out])
+        dev.synchronize()
+        assert dev.read_int(out) == 128
+        assert dev.stats.kernels_completed == 1 + 128  # parent + children
+        assert dev.gpu.distributor.peak_occupied <= kde_entries
+
+    def test_host_and_device_launch_interleaving(self):
+        config = dataclasses.replace(GPUConfig.k20c(), max_concurrent_kernels=2)
+        dev = Device(config=config, mode=ExecutionMode.CDP)
+        child, parent = flood_kernels()
+        dev.register(child)
+        dev.register(parent)
+        out = dev.alloc(1)
+        for stream in range(6):
+            dev.launch("parent", grid=1, block=32, params=[out], stream=stream)
+        dev.synchronize()
+        assert dev.read_int(out) == 192  # 6 blocks x 32 launching threads

@@ -1,0 +1,133 @@
+"""PDOM reconvergence stress: deep nesting and pathological masks."""
+
+import numpy as np
+
+from repro import KernelBuilder, KernelFunction
+
+from tests.helpers import make_device, map_kernel, run_map_kernel
+
+
+class TestDeepNesting:
+    def test_six_level_nested_ifs(self):
+        # Each level splits the surviving lanes by one more bit.
+        def body(k, v):
+            acc = k.mov(0)
+
+            def nest(level):
+                if level == 6:
+                    k.iadd(acc, 1, dst=acc)
+                    return
+                bit = k.iand(k.ishr(v, level), 1)
+                with k.if_(k.eq(bit, 1)):
+                    nest(level + 1)
+
+            nest(0)
+            return acc
+
+        func = map_kernel("deep", body)
+        data = np.arange(64)
+        out = run_map_kernel(func, data)
+        expected = (data & 63) == 63  # all six low bits set
+        np.testing.assert_array_equal(out, expected.astype(int))
+
+    def test_loop_inside_loop_with_divergent_bounds(self):
+        def body(k, v):
+            acc = k.mov(0)
+            outer = k.imod(v, 5)
+            with k.for_range(0, outer) as i:
+                inner = k.imod(k.iadd(v, i), 4)
+                with k.for_range(0, inner) as j:
+                    k.iadd(acc, k.imul(i, j), dst=acc)
+            return acc
+
+        func = map_kernel("loops2", body)
+        data = np.arange(96)
+        out = run_map_kernel(func, data)
+        expected = []
+        for v in data:
+            total = 0
+            for i in range(v % 5):
+                for j in range((v + i) % 4):
+                    total += i * j
+            expected.append(total)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_single_lane_survives_to_depth(self):
+        # Divergence down to one active lane, then heavy work, then full
+        # reconvergence: the post-join instruction must see all 32 lanes.
+        k = KernelBuilder("lone")
+        tid = k.tid()
+        param = k.param()
+        out = k.ld(param, offset=0)
+        with k.if_(k.eq(tid, 17)):
+            with k.for_range(0, 50) as i:
+                k.atom_add(out, 1)
+        k.atom_add(k.iadd(out, 1), 1)  # everyone, post-reconvergence
+        k.exit()
+        dev = make_device()
+        dev.register(KernelFunction("lone", k.build()))
+        out = dev.alloc(2)
+        dev.launch("lone", grid=1, block=32, params=[out])
+        dev.synchronize()
+        assert dev.read_int(out) == 50
+        assert dev.read_int(out + 1) == 32
+
+    def test_alternating_if_else_ladder(self):
+        def body(k, v):
+            acc = k.mov(0)
+            for bit in range(4):
+                k.if_else(
+                    k.eq(k.iand(k.ishr(v, bit), 1), 1),
+                    lambda b=bit: k.iadd(acc, 1 << b, dst=acc),
+                    lambda b=bit: k.isub(acc, 1 << b, dst=acc),
+                )
+            return acc
+
+        func = map_kernel("ladder", body)
+        data = np.arange(48)
+        out = run_map_kernel(func, data)
+        expected = []
+        for v in data:
+            total = 0
+            for bit in range(4):
+                total += (1 << bit) if (v >> bit) & 1 else -(1 << bit)
+            expected.append(total)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_empty_then_branch(self):
+        # An if whose body emits nothing still reconverges correctly.
+        def body(k, v):
+            with k.if_(k.lt(v, 10)):
+                pass
+            return k.iadd(v, 1)
+
+        func = map_kernel("empty_if", body)
+        data = np.arange(32)
+        out = run_map_kernel(func, data)
+        np.testing.assert_array_equal(out, data + 1)
+
+    def test_break_like_pattern(self):
+        # Emulated break: loop guard anded with a flag lanes clear early.
+        def body(k, v):
+            acc = k.mov(0)
+            go = k.mov(1)
+            i = k.mov(0)
+            with k.while_(lambda: k.iand(k.lt(i, 20), k.ne(go, 0))):
+                k.iadd(acc, i, dst=acc)
+                with k.if_(k.ge(acc, v)):
+                    k.mov(0, dst=go)  # "break"
+                k.iadd(i, 1, dst=i)
+            return acc
+
+        func = map_kernel("brk", body)
+        data = (np.arange(64) * 3) % 50
+        out = run_map_kernel(func, data)
+        expected = []
+        for v in data:
+            acc = 0
+            for i in range(20):
+                acc += i
+                if acc >= v:
+                    break
+            expected.append(acc)
+        np.testing.assert_array_equal(out, expected)

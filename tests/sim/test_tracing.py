@@ -1,0 +1,84 @@
+"""Execution tracing and profiling."""
+
+import numpy as np
+
+from repro import KernelBuilder, KernelFunction
+from repro.isa.instructions import Opcode
+from repro.sim.tracing import InstructionTrace, OpcodeProfiler
+
+from tests.helpers import make_device, map_kernel
+
+
+def run_traced(tracer, n=100):
+    func = map_kernel("traced", lambda k, v: k.imul(v, 2))
+    dev = make_device()
+    dev.attach_tracer(tracer)
+    dev.register(func)
+    src = dev.upload(np.arange(n))
+    dst = dev.alloc(n)
+    dev.launch("traced", grid=2, block=64, params=[n, src, dst])
+    dev.synchronize()
+    return dev
+
+
+class TestOpcodeProfiler:
+    def test_counts_per_kernel(self):
+        profiler = OpcodeProfiler()
+        run_traced(profiler)
+        profile = profiler.kernels["traced"]
+        assert profile.issues > 0
+        assert profile.by_opcode[Opcode.IMUL] == 4  # one per warp
+        assert profile.by_opcode[Opcode.EXIT] == 4
+
+    def test_activity_matches_stats(self):
+        profiler = OpcodeProfiler()
+        dev = run_traced(profiler)
+        profile = profiler.kernels["traced"]
+        assert abs(profile.warp_activity_pct - dev.stats.warp_activity_pct) < 1e-9
+
+    def test_report_text(self):
+        profiler = OpcodeProfiler()
+        run_traced(profiler)
+        report = profiler.report()
+        assert "traced" in report
+        assert "ld" in report  # loads dominate this kernel's top opcodes
+        assert "warp activity" in report
+
+
+class TestInstructionTrace:
+    def test_records_in_cycle_order(self):
+        trace = InstructionTrace()
+        run_traced(trace)
+        cycles = [r.cycle for r in trace.records]
+        assert cycles == sorted(cycles)
+
+    def test_ring_capacity(self):
+        trace = InstructionTrace(capacity=10)
+        run_traced(trace)
+        assert len(trace.records) == 10
+
+    def test_of_kernel_filter(self):
+        trace = InstructionTrace()
+        run_traced(trace)
+        assert trace.of_kernel("traced")
+        assert not trace.of_kernel("other")
+
+    def test_format(self):
+        trace = InstructionTrace()
+        run_traced(trace)
+        text = trace.format(limit=5)
+        assert len(text.splitlines()) == 5
+        assert "traced" in text
+
+
+class TestNoTracerOverheadPath:
+    def test_runs_without_tracer(self):
+        # The default (tracer=None) path must work unchanged.
+        func = map_kernel("plain", lambda k, v: k.iadd(v, 1))
+        device = make_device()
+        device.register(func)
+        src = device.upload(np.arange(10))
+        dst = device.alloc(10)
+        device.launch("plain", grid=1, block=32, params=[10, src, dst])
+        device.synchronize()
+        np.testing.assert_array_equal(device.download_ints(dst, 10), np.arange(10) + 1)

@@ -1,0 +1,61 @@
+"""Command-line entry points."""
+
+import pytest
+
+from repro.harness.__main__ import main as harness_main
+from repro.workloads.__main__ import main as workloads_main
+
+
+class TestWorkloadsCli:
+    def test_list(self, capsys):
+        assert workloads_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs_citation" in out
+        assert "join_gaussian" in out
+
+    def test_run_single(self, capsys):
+        code = workloads_main(
+            ["bfs_citation", "--mode", "flat", "--scale", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "[flat]" in out
+
+    def test_run_multi_mode(self, capsys):
+        code = workloads_main(
+            ["join_uniform", "--mode", "flat", "dtbli", "--scale", "0.15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[flat]" in out and "[dtbli]" in out
+        assert "speedup" in out
+
+
+class TestHarnessCli:
+    def test_static_table(self, capsys):
+        assert harness_main(["--figure", "table2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "706MHz" in out
+
+    def test_overhead(self, capsys):
+        assert harness_main(["--figure", "overhead", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "AGT SRAM" in out
+
+    def test_single_grid_figure_scaled(self, capsys):
+        code = harness_main(
+            [
+                "--figure", "11",
+                "--benchmarks", "bfs_citation",
+                "--scale", "0.1",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Speedup over Flat" in out
+
+    def test_unknown_figure_errors(self):
+        with pytest.raises(SystemExit):
+            harness_main(["--figure", "nope"])

@@ -1,0 +1,52 @@
+"""Smoke tests: the shipped examples must run and verify themselves."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "verified against NumPy" in out
+        assert "cycles" in out
+
+    def test_assembler_and_tracing(self):
+        out = run_example("assembler_and_tracing.py")
+        assert "verified" in out
+        assert "opcode profile" in out
+
+    def test_relational_join(self):
+        out = run_example("relational_join.py")
+        assert "join_uniform" in out and "join_gaussian" in out
+        assert "dtbl" in out
+
+    @pytest.mark.slow
+    def test_graph_traversal(self):
+        out = run_example("graph_traversal.py")
+        assert "dtbl" in out
+
+    @pytest.mark.slow
+    def test_occupancy_timeline(self):
+        out = run_example("occupancy_timeline.py")
+        assert "KDE entries occupied" in out
+
+    @pytest.mark.slow
+    def test_adaptive_mesh(self):
+        out = run_example("adaptive_mesh.py")
+        assert "match" in out.lower()

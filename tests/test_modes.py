@@ -1,0 +1,52 @@
+"""Execution-mode semantics."""
+
+import pytest
+
+from repro.config import LatencyModel
+from repro.runtime import ExecutionMode
+
+
+class TestModes:
+    def test_mode_classification(self):
+        assert ExecutionMode.CDP.uses_cdp
+        assert ExecutionMode.CDP_IDEAL.uses_cdp
+        assert ExecutionMode.DTBL.uses_dtbl
+        assert ExecutionMode.DTBL_IDEAL.uses_dtbl
+        assert not ExecutionMode.FLAT.uses_cdp
+        assert not ExecutionMode.FLAT.uses_dtbl
+
+    def test_dynamic_flag(self):
+        assert not ExecutionMode.FLAT.is_dynamic
+        assert all(
+            mode.is_dynamic for mode in ExecutionMode if mode is not ExecutionMode.FLAT
+        )
+
+    def test_ideal_flag(self):
+        assert ExecutionMode.CDP_IDEAL.ideal
+        assert ExecutionMode.DTBL_IDEAL.ideal
+        assert not ExecutionMode.CDP.ideal
+
+    def test_latency_models(self):
+        assert ExecutionMode.CDP.latency_model() == LatencyModel.measured_k20c()
+        assert ExecutionMode.CDP_IDEAL.latency_model() == LatencyModel.ideal()
+
+    def test_latency_scaling(self):
+        scaled = ExecutionMode.CDP.latency_model(scale=0.5)
+        full = LatencyModel.measured_k20c()
+        assert scaled.launch_device_base == round(full.launch_device_base * 0.5)
+        assert scaled.kde_search_per_entry == full.kde_search_per_entry  # unscaled
+
+    def test_ideal_ignores_scale(self):
+        assert ExecutionMode.DTBL_IDEAL.latency_model(scale=0.1) == LatencyModel.ideal()
+
+    def test_from_name(self):
+        assert ExecutionMode.from_name("dtbl") is ExecutionMode.DTBL
+        assert ExecutionMode.from_name("CDPI") is ExecutionMode.CDP_IDEAL
+        with pytest.raises(ValueError):
+            ExecutionMode.from_name("warp-speed")
+
+    def test_scale_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            LatencyModel.measured_k20c().scaled(0)

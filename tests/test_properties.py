@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on core data structures and the
+functional correctness of the SIMT execution engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import Device, GPUConfig, KernelBuilder, KernelFunction
+from repro.config import SEGMENT_WORDS, WARP_SIZE
+from repro.memory import Cache, GlobalMemory, coalesce_addresses
+from repro.memory.dram import DramController
+
+from tests.helpers import map_kernel, run_map_kernel
+
+
+# ----------------------------------------------------------------------
+# Coalescer properties
+# ----------------------------------------------------------------------
+class TestCoalescerProperties:
+    @given(st.lists(st.integers(0, 1 << 30), min_size=1, max_size=WARP_SIZE))
+    def test_segment_count_bounds(self, addrs):
+        segs = coalesce_addresses(np.asarray(addrs, dtype=np.int64))
+        assert 1 <= segs.size <= len(addrs)
+
+    @given(st.lists(st.integers(0, 1 << 30), min_size=1, max_size=WARP_SIZE))
+    def test_every_address_covered(self, addrs):
+        arr = np.asarray(addrs, dtype=np.int64)
+        segs = set(coalesce_addresses(arr).tolist())
+        assert all(a // SEGMENT_WORDS in segs for a in addrs)
+
+    @given(st.lists(st.integers(0, 1 << 30), min_size=1, max_size=WARP_SIZE))
+    def test_permutation_invariant(self, addrs):
+        arr = np.asarray(addrs, dtype=np.int64)
+        rng = np.random.default_rng(0)
+        shuffled = arr.copy()
+        rng.shuffle(shuffled)
+        assert coalesce_addresses(arr).tolist() == coalesce_addresses(shuffled).tolist()
+
+    @given(st.integers(0, 1 << 24), st.integers(1, WARP_SIZE))
+    def test_contiguous_run_is_minimal(self, base, length):
+        arr = base + np.arange(length, dtype=np.int64)
+        segs = coalesce_addresses(arr)
+        lo = base // SEGMENT_WORDS
+        hi = (base + length - 1) // SEGMENT_WORDS
+        assert segs.size == hi - lo + 1
+
+
+# ----------------------------------------------------------------------
+# Cache properties
+# ----------------------------------------------------------------------
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    def test_hits_plus_misses_is_accesses(self, lines):
+        cache = Cache(size_bytes=16 * 128, line_bytes=128, assoc=2)
+        for line in lines:
+            cache.access(line)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(lines)
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    def test_immediate_reaccess_always_hits(self, lines):
+        cache = Cache(size_bytes=16 * 128, line_bytes=128, assoc=2)
+        for line in lines:
+            cache.access(line)
+            assert cache.access(line) is True
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=64))
+    def test_working_set_within_capacity_never_conflicts(self, lines):
+        # 8 distinct lines into a 16-line cache: after the first touch of
+        # each line, everything hits.
+        cache = Cache(size_bytes=16 * 128, line_bytes=128, assoc=16)
+        seen = set()
+        for line in lines:
+            hit = cache.access(line)
+            assert hit == (line in seen)
+            seen.add(line)
+
+
+# ----------------------------------------------------------------------
+# DRAM properties
+# ----------------------------------------------------------------------
+class TestDramProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1 << 20), st.booleans()),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_completion_after_arrival_and_activity_bounded(self, requests):
+        dram = DramController(GPUConfig.k20c())
+        arrival = 0
+        last_completion = 0
+        for segment, is_write in requests:
+            completion = dram.service(segment, is_write, arrival)
+            assert completion > arrival
+            last_completion = max(last_completion, completion)
+            arrival += 3
+        stats = dram.stats
+        assert stats.commands == len(requests)
+        assert 0 < stats.n_activity <= last_completion
+        assert 0.0 < stats.efficiency <= 1.0
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=2, max_size=60))
+    def test_same_bank_never_overlaps(self, segments):
+        cfg = GPUConfig.k20c()
+        dram = DramController(cfg)
+        completions = []
+        for i, segment in enumerate(segments):
+            completions.append(dram.service(segment, False, i))
+        # Per-bank service slots are exclusive: total busy time across all
+        # banks is at least commands * min-service.
+        busy_min = len(segments) * cfg.dram_row_hit_cycles
+        assert max(completions) >= busy_min / cfg.dram_banks
+
+
+# ----------------------------------------------------------------------
+# Allocator properties
+# ----------------------------------------------------------------------
+class TestAllocatorProperties:
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=60))
+    def test_allocations_are_disjoint(self, sizes):
+        mem = GlobalMemory(64 * 64 + 1)
+        spans = []
+        for size in sizes:
+            base = mem.alloc(size)
+            spans.append((base, base + size))
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        assert all(s >= 1 for s, _ in spans)  # null word reserved
+
+
+# ----------------------------------------------------------------------
+# SIMT execution vs NumPy oracle
+# ----------------------------------------------------------------------
+_EXPR = {
+    "add": (lambda k, v, c: k.iadd(v, c), lambda v, c: v + c),
+    "sub": (lambda k, v, c: k.isub(v, c), lambda v, c: v - c),
+    "mul": (lambda k, v, c: k.imul(v, c), lambda v, c: v * c),
+    "min": (lambda k, v, c: k.imin(v, c), lambda v, c: np.minimum(v, c)),
+    "max": (lambda k, v, c: k.imax(v, c), lambda v, c: np.maximum(v, c)),
+    "xor": (lambda k, v, c: k.ixor(v, c), lambda v, c: v ^ c),
+}
+
+
+class TestExecutionOracle:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(sorted(_EXPR)), st.integers(-100, 100)),
+            min_size=1,
+            max_size=6,
+        ),
+        data=st.lists(st.integers(-1000, 1000), min_size=1, max_size=80),
+    )
+    def test_random_alu_chain_matches_numpy(self, ops, data):
+        def body(k, v):
+            reg = v
+            for name, imm in ops:
+                reg = _EXPR[name][0](k, reg, imm)
+            return reg
+
+        func = map_kernel("chain", body)
+        out = run_map_kernel(func, np.asarray(data, dtype=np.int64))
+        expected = np.asarray(data, dtype=np.int64)
+        for name, imm in ops:
+            expected = _EXPR[name][1](expected, np.int64(imm))
+        np.testing.assert_array_equal(out, expected)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        trips=st.lists(st.integers(0, 12), min_size=1, max_size=64),
+    )
+    def test_divergent_loops_match_python(self, trips):
+        def body(k, v):
+            acc = k.mov(0)
+            with k.for_range(0, v) as i:
+                k.iadd(acc, k.imul(i, 2), dst=acc)
+            return acc
+
+        func = map_kernel("loops", body)
+        out = run_map_kernel(func, np.asarray(trips, dtype=np.int64))
+        expected = [sum(2 * i for i in range(t)) for t in trips]
+        np.testing.assert_array_equal(out, expected)
+
+    @settings(max_examples=8, deadline=None)
+    @given(data=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=96))
+    def test_gather_store_roundtrip(self, data):
+        func = map_kernel("copy", lambda k, v: k.mov(v))
+        out = run_map_kernel(func, np.asarray(data, dtype=np.int64))
+        np.testing.assert_array_equal(out, data)

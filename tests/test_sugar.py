@@ -1,0 +1,58 @@
+"""CUDA-style launch sugar."""
+
+import numpy as np
+import pytest
+
+from repro import Device, KernelBuilder, KernelFunction
+from repro.errors import LaunchError
+from repro.runtime.sugar import bind
+
+from tests.helpers import map_kernel
+
+
+class TestSugar:
+    def make(self):
+        dev = Device()
+        func = map_kernel("double", lambda k, v: k.imul(v, 2))
+        kernel = bind(dev, func)
+        return dev, kernel
+
+    def test_bracket_call_launches(self):
+        dev, kernel = self.make()
+        src = dev.upload(np.arange(100))
+        dst = dev.alloc(100)
+        kernel[2, 64](100, src, dst)
+        dev.synchronize()
+        np.testing.assert_array_equal(dev.download_ints(dst, 100), np.arange(100) * 2)
+
+    def test_stream_component(self):
+        dev, kernel = self.make()
+        src = dev.upload(np.arange(10))
+        dst = dev.alloc(10)
+        kernel[1, 32, 3](10, src, dst)  # stream 3
+        dev.synchronize()
+        np.testing.assert_array_equal(dev.download_ints(dst, 10), np.arange(10) * 2)
+
+    def test_bad_config_rejected(self):
+        _, kernel = self.make()
+        with pytest.raises(LaunchError):
+            kernel[5]  # missing block
+        with pytest.raises(LaunchError):
+            kernel[1, 2, 3, 4]
+
+    def test_bind_registers_once(self):
+        dev = Device()
+        func = map_kernel("k", lambda k, v: k.mov(v))
+        a = bind(dev, func)
+        b = bind(dev, func)  # same function object: fine
+        assert a.name == b.name == "k"
+
+    def test_bind_conflicting_name_rejected(self):
+        dev = Device()
+        bind(dev, map_kernel("k", lambda k, v: k.mov(v)))
+        with pytest.raises(LaunchError):
+            bind(dev, map_kernel("k", lambda k, v: k.iadd(v, 1)))
+
+    def test_repr(self):
+        _, kernel = self.make()
+        assert "double" in repr(kernel)

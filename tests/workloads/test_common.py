@@ -1,0 +1,150 @@
+"""Shared workload helpers and edge-case datasets."""
+
+import numpy as np
+import pytest
+
+from repro import Device, ExecutionMode, KernelBuilder, KernelFunction
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.common import INF, DeviceGraph, emit_dfp, emit_dynamic_launch, upload_graph
+from repro.workloads.datasets.graphs import Graph, citation_network
+from repro.isa import Opcode
+
+from tests.helpers import make_device
+
+
+class TestUploadGraph:
+    def test_roundtrip(self):
+        graph = citation_network(n=100)
+        dev = make_device()
+        dgraph = upload_graph(dev, graph)
+        assert isinstance(dgraph, DeviceGraph)
+        np.testing.assert_array_equal(
+            dev.download_ints(dgraph.indptr, graph.num_vertices + 1), graph.indptr
+        )
+        np.testing.assert_array_equal(
+            dev.download_ints(dgraph.indices, graph.num_edges), graph.indices
+        )
+        assert dgraph.weights == 0  # unweighted
+
+    def test_weighted(self):
+        graph = citation_network(n=80, weighted=True)
+        dev = make_device()
+        dgraph = upload_graph(dev, graph)
+        assert dgraph.weights != 0
+        np.testing.assert_array_equal(
+            dev.download_ints(dgraph.weights, graph.num_edges), graph.weights
+        )
+
+    def test_empty_graph(self):
+        graph = Graph(
+            indptr=np.zeros(4, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            name="empty",
+        )
+        dev = make_device()
+        dgraph = upload_graph(dev, graph)
+        assert dgraph.num_edges == 0
+
+
+class TestEmitDfp:
+    def test_flat_mode_emits_only_serial(self):
+        k = KernelBuilder("t")
+        count = k.mov(100)
+        emitted = []
+        emit_dfp(
+            k,
+            ExecutionMode.FLAT,
+            count,
+            threshold=32,
+            launch_fn=lambda: emitted.append("launch"),
+            serial_fn=lambda: emitted.append("serial"),
+        )
+        assert emitted == ["serial"]
+
+    def test_dynamic_mode_emits_both_paths(self):
+        k = KernelBuilder("t")
+        count = k.mov(100)
+        emitted = []
+        emit_dfp(
+            k,
+            ExecutionMode.DTBL,
+            count,
+            threshold=32,
+            launch_fn=lambda: emitted.append("launch"),
+            serial_fn=lambda: emitted.append("serial"),
+        )
+        assert emitted == ["launch", "serial"]
+
+    def test_launch_sequence_shape(self):
+        k = KernelBuilder("t")
+        count = k.mov(64)
+        emit_dynamic_launch(k, ExecutionMode.CDP, "child", [count, 1, 2], count, 32)
+        ops = [i.op for i in k.program.instructions]
+        assert Opcode.GET_PARAM_BUF in ops
+        assert Opcode.STREAM_CREATE in ops  # CDP creates a stream (Fig. 3a)
+        assert Opcode.LAUNCH_DEVICE in ops
+        assert ops.count(Opcode.ST) == 3  # one per parameter
+
+    def test_dtbl_launch_has_no_stream(self):
+        k = KernelBuilder("t")
+        count = k.mov(64)
+        emit_dynamic_launch(k, ExecutionMode.DTBL, "child", [count], count, 32)
+        ops = [i.op for i in k.program.instructions]
+        assert Opcode.STREAM_CREATE not in ops
+        assert Opcode.LAUNCH_AGG in ops
+
+    def test_flat_launch_rejected(self):
+        k = KernelBuilder("t")
+        count = k.mov(64)
+        with pytest.raises(ValueError):
+            emit_dynamic_launch(k, ExecutionMode.FLAT, "child", [count], count, 32)
+
+
+class TestEdgeDatasets:
+    def test_bfs_from_isolated_source(self):
+        # Source with no outgoing edges: BFS finishes after one level and
+        # every other vertex stays at INF.
+        indptr = np.array([0, 0, 1, 2], dtype=np.int64)
+        indices = np.array([2, 1], dtype=np.int64)
+        graph = Graph(indptr=indptr, indices=indices, name="isolated")
+        workload = BfsWorkload("bfs_iso", ExecutionMode.FLAT, graph, source=0)
+        workload.execute()
+        expected = workload.reference_distances()
+        assert expected[0] == 0
+        assert (expected[1:] == INF).all()
+
+    def test_bfs_single_vertex(self):
+        graph = Graph(
+            indptr=np.array([0, 0], dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            name="singleton",
+        )
+        BfsWorkload("bfs_one", ExecutionMode.FLAT, graph).execute()
+
+
+class TestRegisterOccupancy:
+    def test_register_demand_limits_residency(self):
+        # A register-hungry kernel must fit fewer blocks per SMX.
+        def build(regs_target: int) -> KernelFunction:
+            k = KernelBuilder("hog")
+            acc = k.mov(0)
+            regs = [k.mov(i) for i in range(regs_target)]
+            for r in regs:
+                k.iadd(acc, r, dst=acc)
+            k.exit()
+            return KernelFunction("hog", k.build())
+
+        lean = build(4)
+        hungry = build(120)  # ~250 32-bit regs/thread
+        assert hungry.regs_per_thread > lean.regs_per_thread
+
+        from repro.sim.gpu import GPU
+
+        gpu = GPU()
+        smx = gpu.smxs[0]
+        count = 0
+        while smx.can_accept(hungry, (256, 1, 1)):
+            smx.add_block(hungry, (100, 1, 1), (256, 1, 1), count, 0, None, None, 0)
+            count += 1
+        # 65536 regs / (256 threads x ~250 regs) ≈ 1 block.
+        assert count < 4

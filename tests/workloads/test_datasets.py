@@ -1,0 +1,139 @@
+"""Dataset generator invariants."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (
+    amr_grid,
+    cage15_like,
+    citation_network,
+    darpa_packets,
+    flight_network,
+    graph500_like,
+    join_tables,
+    movielens_like,
+    random_points,
+    random_strings,
+    usa_road,
+)
+
+
+GRAPH_GENERATORS = [
+    lambda: citation_network(n=300),
+    lambda: usa_road(n=400),
+    lambda: cage15_like(n=250),
+    lambda: graph500_like(n=250),
+    lambda: flight_network(n=250),
+]
+
+
+class TestGraphs:
+    @pytest.mark.parametrize("gen", GRAPH_GENERATORS)
+    def test_csr_well_formed(self, gen):
+        graph = gen()
+        graph.validate()
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+    @pytest.mark.parametrize("gen", GRAPH_GENERATORS)
+    def test_deterministic(self, gen):
+        a, b = gen(), gen()
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_citation_is_heavy_tailed(self):
+        graph = citation_network(n=800)
+        degrees = graph.degrees()
+        assert degrees.max() > 6 * degrees.mean()
+
+    def test_usa_road_low_degree(self):
+        graph = usa_road(n=900)
+        assert graph.degrees().max() <= 4
+
+    def test_graph500_balanced(self):
+        graph = graph500_like(n=500)
+        degrees = graph.degrees()
+        assert degrees.std() < 0.5 * degrees.mean()
+
+    def test_flight_few_hubs(self):
+        graph = flight_network(n=400, hubs=8)
+        degrees = graph.degrees()
+        big = (degrees >= 32).sum()
+        assert 0 < big <= 10  # only the hubs are large
+
+    def test_symmetry_of_coloring_graphs(self):
+        for graph in (graph500_like(n=200), cage15_like(n=200)):
+            adjacency = {
+                v: set(graph.neighbors(v).tolist()) for v in range(graph.num_vertices)
+            }
+            for v, neighbors in adjacency.items():
+                for u in neighbors:
+                    assert v in adjacency[u], f"edge {v}->{u} not symmetric"
+
+    def test_weights_when_requested(self):
+        graph = citation_network(n=200, weighted=True)
+        assert graph.weights is not None
+        assert graph.weights.min() >= 1
+
+    def test_no_self_loops(self):
+        for gen in GRAPH_GENERATORS:
+            graph = gen()
+            for v in range(graph.num_vertices):
+                assert v not in graph.neighbors(v)
+
+
+class TestNonGraphData:
+    def test_amr_grid_shape(self):
+        grid = amr_grid(side=12)
+        assert grid.num_cells == 144
+        assert grid.energy.shape == (144,)
+        assert (grid.energy > 0).all()
+        assert (grid.energy > grid.threshold).any()  # some hot cells
+
+    def test_points_in_unit_square(self):
+        pts = random_points(n=500)
+        assert pts.count == 500
+        assert pts.x.min() >= 0 and pts.x.max() <= 1
+        assert pts.y.min() >= 0 and pts.y.max() <= 1
+        assert (pts.mass > 0).all()
+
+    def test_darpa_packets_structure(self):
+        packets = darpa_packets(n=40)
+        assert packets.count == 40
+        assert packets.alphabet == 256
+        assert all(p.min() >= 0 and p.max() < 256 for p in packets.packets)
+        assert len(packets.patterns) >= 1
+
+    def test_random_strings_small_alphabet(self):
+        packets = random_strings(n=30, alphabet=8)
+        for p in packets.packets:
+            assert p.min() >= ord("a")
+            assert p.max() < ord("a") + 8
+
+    def test_ratings_csr_consistency(self):
+        data = movielens_like(num_users=60, num_items=30)
+        assert data.item_indptr[-1] == data.num_ratings
+        assert data.user_indptr[-1] == data.num_ratings
+        # Same multiset of ratings in both layouts.
+        assert sorted(data.item_ratings.tolist()) == sorted(data.user_ratings.tolist())
+
+    def test_ratings_power_law(self):
+        data = movielens_like(num_users=200, num_items=100)
+        pops = np.diff(data.item_indptr)
+        assert pops.max() > 2.5 * pops.mean()
+        heavier = movielens_like(
+            num_users=200, num_items=100, popularity_exponent=1.0
+        )
+        heavy_pops = np.diff(heavier.item_indptr)
+        assert heavy_pops.max() > pops.max()  # exponent controls the skew
+
+    def test_join_uniform_vs_gaussian_skew(self):
+        uniform = join_tables("uniform", r_size=800, s_size=100)
+        gauss = join_tables("gaussian", r_size=800, s_size=100)
+        u_counts = np.bincount(uniform.r_keys, minlength=uniform.num_keys)
+        g_counts = np.bincount(gauss.r_keys, minlength=gauss.num_keys)
+        assert g_counts.max() > 2 * u_counts.max()
+
+    def test_join_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            join_tables("zipf")

@@ -1,0 +1,174 @@
+"""Tests for the pattern-matching substrate (NFA -> DFA tables)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.regex_engine import (
+    build_ac_dfa,
+    build_anchored_dfa,
+    count_matches,
+)
+
+
+def text(s: str) -> np.ndarray:
+    return np.frombuffer(s.encode(), dtype=np.uint8).astype(np.int64)
+
+
+class TestAnchoredDfa:
+    def test_single_pattern_anchored(self):
+        dfa = build_anchored_dfa(["abc"])
+        t = text("xxabcxx")
+        assert dfa.matches_at(t, 2)
+        assert not dfa.matches_at(t, 0)
+        assert not dfa.matches_at(t, 3)
+
+    def test_multiple_patterns(self):
+        dfa = build_anchored_dfa(["abc", "abd", "zz"])
+        t = text("abdzz")
+        assert dfa.matches_at(t, 0)  # abd
+        assert dfa.matches_at(t, 3)  # zz
+        assert not dfa.matches_at(t, 1)
+
+    def test_shared_prefixes_share_states(self):
+        separate = build_anchored_dfa(["abcdef"])
+        shared = build_anchored_dfa(["abcdef", "abcxyz"])
+        # Shared prefix "abc" reuses 3 states: 6+3 pattern states + root + dead.
+        assert shared.num_states == separate.num_states + 3
+
+    def test_match_at_end_boundary(self):
+        dfa = build_anchored_dfa(["ab"])
+        t = text("zab")
+        assert dfa.matches_at(t, 1)
+        assert not dfa.matches_at(t, 2)  # truncated window
+
+    def test_dead_state_traps(self):
+        dfa = build_anchored_dfa(["abc"])
+        state = dfa.step(0, ord("a"))
+        dead = dfa.step(state, ord("z"))
+        assert dead == 1
+        assert dfa.step(dead, ord("a")) == 1
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_anchored_dfa([])
+        with pytest.raises(WorkloadError):
+            build_anchored_dfa([""])
+
+    def test_out_of_alphabet_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_anchored_dfa(["abc"], alphabet=8)
+
+    def test_table_layout(self):
+        dfa = build_anchored_dfa(["ab"], alphabet=128)
+        assert dfa.transitions.shape == (dfa.num_states * 128,)
+        assert dfa.accepting.shape == (dfa.num_states,)
+        assert dfa.max_pattern_len == 2
+
+
+class TestCountMatches:
+    def test_counts_start_positions(self):
+        dfa = build_anchored_dfa(["aa"])
+        assert count_matches(dfa, text("aaa"), ["aa"]) == 2  # positions 0, 1
+
+    def test_overlapping_patterns(self):
+        dfa = build_anchored_dfa(["ab", "ba"])
+        assert count_matches(dfa, text("abab"), ["ab", "ba"]) == 3
+
+    def test_matches_python_reference(self):
+        rng = np.random.default_rng(5)
+        patterns = ["abca", "caa"]
+        dfa = build_anchored_dfa(patterns)
+        for _ in range(20):
+            t = rng.integers(ord("a"), ord("d"), size=60).astype(np.int64)
+            s = "".join(chr(c) for c in t)
+            expected = sum(
+                1
+                for i in range(len(s))
+                if any(s.startswith(p, i) for p in patterns)
+            )
+            assert count_matches(dfa, t, patterns) == expected
+
+
+class TestPatternSyntax:
+    def test_wildcard(self):
+        dfa = build_anchored_dfa(["a.c"])
+        assert dfa.matches_at(text("abc"), 0)
+        assert dfa.matches_at(text("azc"), 0)
+        assert not dfa.matches_at(text("abd"), 0)
+
+    def test_character_class(self):
+        dfa = build_anchored_dfa(["[abc]x"])
+        for ch in "abc":
+            assert dfa.matches_at(text(ch + "x"), 0)
+        assert not dfa.matches_at(text("dx"), 0)
+
+    def test_class_range(self):
+        dfa = build_anchored_dfa(["[a-d]z"])
+        assert dfa.matches_at(text("bz"), 0)
+        assert not dfa.matches_at(text("ez"), 0)
+
+    def test_negated_class(self):
+        dfa = build_anchored_dfa(["[^x]y"])
+        assert dfa.matches_at(text("ay"), 0)
+        assert not dfa.matches_at(text("xy"), 0)
+
+    def test_escape(self):
+        dfa = build_anchored_dfa([r"a\.b"])
+        assert dfa.matches_at(text("a.b"), 0)
+        assert not dfa.matches_at(text("axb"), 0)
+
+    def test_mixed_literal_and_wildcard_patterns(self):
+        dfa = build_anchored_dfa(["ab", "a.c"])
+        assert dfa.matches_at(text("ab"), 0)  # literal wins at len 2
+        assert dfa.matches_at(text("axc"), 0)  # wildcard at len 3
+        assert not dfa.matches_at(text("axd"), 0)
+
+    def test_parse_errors(self):
+        from repro.workloads.regex_engine import parse_pattern
+
+        with pytest.raises(WorkloadError):
+            parse_pattern("a[bc", 128)  # unterminated class
+        with pytest.raises(WorkloadError):
+            parse_pattern("a\\", 128)  # dangling escape
+        with pytest.raises(WorkloadError):
+            parse_pattern("[z-a]", 128)  # inverted range
+        with pytest.raises(WorkloadError):
+            parse_pattern("", 128)
+
+    def test_unanchored_with_wildcards(self):
+        dfa = build_ac_dfa(["n..dle"])
+        state = 0
+        found = False
+        for symbol in text("xxnoodlexx"):
+            state = dfa.step(state, int(symbol))
+            found = found or bool(dfa.accepting[state])
+        assert found
+
+
+class TestAcDfa:
+    def test_unanchored_scan_finds_embedded_match(self):
+        dfa = build_ac_dfa(["needle"])
+        state = 0
+        found = False
+        for symbol in text("xxxneedlexxx"):
+            state = dfa.step(state, int(symbol))
+            if dfa.accepting[state]:
+                found = True
+        assert found
+
+    def test_failure_links_recover(self):
+        # "aab" requires falling back from "aa" to "a" on the second 'a'.
+        dfa = build_ac_dfa(["aab"])
+        state = 0
+        hits = 0
+        for symbol in text("aaab"):
+            state = dfa.step(state, int(symbol))
+            hits += int(dfa.accepting[state])
+        assert hits == 1
+
+    def test_no_dead_ends(self):
+        dfa = build_ac_dfa(["ab", "bc"])
+        # Every transition leads to a valid state (AC never traps).
+        assert dfa.transitions.min() >= 0
+        assert dfa.transitions.max() < dfa.num_states
