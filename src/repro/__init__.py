@@ -19,14 +19,17 @@ See ``examples/quickstart.py`` and README.md.
 from .config import GPUConfig, LatencyModel, WARP_SIZE
 from .errors import ReproError
 from .isa import KernelBuilder, Program
-from .runtime import Device, ExecutionMode
+from .runtime import Device, DeviceArray, Event, ExecutionMode, Stream
 from .sim import GPU, KernelFunction, SimStats
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Device",
+    "DeviceArray",
+    "Event",
     "ExecutionMode",
+    "Stream",
     "GPU",
     "GPUConfig",
     "KernelBuilder",

@@ -217,6 +217,14 @@ class GPUConfig:
     #: Extra KDE/FCFS/SSCR/TBCR register bytes (Section 4.3).
     dtbl_register_bytes: int = 1096
 
+    # ----- Simulator execution core ----------------------------------------
+    #: Use the fast execution core: pre-decoded per-opcode instruction
+    #: kernels (see :mod:`repro.sim.fast_warp`) and the event-driven
+    #: SMX-ready scheduler in :meth:`repro.sim.gpu.GPU.run`.  Stat-exact
+    #: with the reference interpreter (``fast_core=False``), which is kept
+    #: as the oracle for differential testing.
+    fast_core: bool = True
+
     # ----- Launch bookkeeping ----------------------------------------------
     #: Global-memory bytes reserved per pending device-launched kernel
     #: (kernel record, stream state, saved configuration).

@@ -35,6 +35,10 @@ class MemoryError_(ReproError):
     """
 
 
+class DeviceError(ReproError):
+    """An operation on a closed (or otherwise unusable) Device."""
+
+
 class LaunchError(ReproError):
     """An invalid host- or device-side kernel/aggregated-group launch."""
 

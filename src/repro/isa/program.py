@@ -23,6 +23,9 @@ class Program:
         self.instructions: List[Instr] = []
         self.labels: Dict[str, int] = {}
         self._finalized = False
+        #: Fast-core decode cache, filled lazily by
+        #: :func:`repro.sim.fast_warp.decode_program` after finalize.
+        self._fast_table = None
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -46,8 +46,11 @@ class Cache:
             raise ConfigError("cache too small for its associativity")
         self.assoc = assoc
         self.line_bytes = line_bytes
-        # Per set: list of tags in LRU order (front = LRU, back = MRU).
-        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        # Per set: tags as an insertion-ordered dict used as an LRU list
+        # (first key = LRU, last key = MRU).  O(1) lookup/refresh versus
+        # the O(assoc) list scan this store originally used; semantics
+        # are identical (covered by the unit tests).
+        self._sets: List[Dict[int, None]] = [{} for _ in range(self.num_sets)]
         self.stats = CacheStats()
 
     def access(self, segment: int) -> bool:
@@ -55,17 +58,18 @@ class Cache:
         set_idx = segment % self.num_sets
         tag = segment // self.num_sets
         ways = self._sets[set_idx]
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         if tag in ways:
-            ways.remove(tag)
-            ways.append(tag)
-            self.stats.hits += 1
+            del ways[tag]
+            ways[tag] = None
+            stats.hits += 1
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         if len(ways) >= self.assoc:
-            ways.pop(0)
-            self.stats.evictions += 1
-        ways.append(tag)
+            del ways[next(iter(ways))]
+            stats.evictions += 1
+        ways[tag] = None
         return False
 
     def flush(self) -> None:

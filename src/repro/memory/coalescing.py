@@ -48,6 +48,16 @@ class CoalescingStats:
         return self.transactions / self.warp_accesses
 
 
+def coalesce_address_list(addresses) -> list:
+    """Fast-core variant of :func:`coalesce_addresses` for plain int lists.
+
+    Produces the distinct segment ids in ascending order — the exact order
+    ``np.unique`` gives — because downstream DRAM bank/row state and the
+    L2's LRU depend on the order transactions are issued.
+    """
+    return sorted({addr // SEGMENT_WORDS for addr in addresses})
+
+
 def coalesce_addresses(addresses: np.ndarray) -> np.ndarray:
     """Map active-lane word addresses to unique 128-byte segment ids.
 

@@ -133,6 +133,25 @@ class MemorySubsystem:
                 completion = done
         return int(completion)
 
+    def warp_access_list(self, segments, is_write: bool, cycle: int) -> int:
+        """Fast-core variant of :meth:`warp_access` for plain int lists.
+
+        ``segments`` must be ascending (the order ``np.unique`` /
+        :func:`~repro.memory.coalescing.coalesce_address_list` produce) so
+        that DRAM state evolves identically to the reference path.
+        """
+        l2_latency = self._config.l2_hit_latency
+        completion = cycle + l2_latency
+        arrival = completion + self._config.dram_base_latency
+        access = self.l2.access
+        service = self.dram.service
+        for segment in segments:
+            if not access(segment):
+                done = service(segment, is_write, arrival)
+                if done > completion:
+                    completion = done
+        return completion
+
     def read_latency(self, segment: int, cycle: int) -> int:
         """Latency path for a single internal read (e.g. AGT spill fetch)."""
         return self.warp_access(np.asarray([segment], dtype=np.int64), False, cycle)

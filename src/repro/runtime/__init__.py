@@ -1,7 +1,15 @@
 """Host-side runtime: execution modes and the user-facing Device API."""
 
 from .modes import ExecutionMode
-from .host_api import Device
+from .host_api import Device, DeviceArray, Event, Stream
 from .sugar import HostKernel, bind
 
-__all__ = ["Device", "ExecutionMode", "HostKernel", "bind"]
+__all__ = [
+    "Device",
+    "DeviceArray",
+    "Event",
+    "ExecutionMode",
+    "HostKernel",
+    "Stream",
+    "bind",
+]

@@ -88,7 +88,9 @@ def dump_warp(warp) -> str:
         f"kernel={warp.tb.func.name} ready@{warp.ready_cycle} "
         f"{'FINISHED' if warp.finished else ''}{'BARRIER' if warp.at_barrier else ''}"
     ]
-    for depth, (pc, rpc, mask) in enumerate(warp.stack):
-        active = int(mask.sum())
-        lines.append(f"  frame[{depth}] pc={pc} rpc={rpc} active={active}/32")
+    # Frames are [pc, rpc, mask] on the reference core and
+    # [pc, rpc, mask, active, full] on the fast core; index positionally.
+    for depth, frame in enumerate(warp.stack):
+        active = int(frame[2].sum())
+        lines.append(f"  frame[{depth}] pc={frame[0]} rpc={frame[1]} active={active}/32")
     return "\n".join(lines)

@@ -1,0 +1,829 @@
+"""The fast execution core's warp interpreter.
+
+:class:`FastWarp` is a drop-in :class:`~repro.sim.warp.Warp` subclass used
+when ``GPUConfig.fast_core`` is set (the default).  It executes the same
+instruction semantics as the reference interpreter — bit-for-bit on the
+architectural state and cycle-for-cycle on the timing model — but removes
+the per-step interpretation overhead three ways:
+
+* **Pre-decoded instruction kernels.**  Each program is decoded once into
+  a table of per-instruction closures (cached on the
+  :class:`~repro.isa.program.Program`); operand banks, immediates and
+  latency classes are resolved at decode time instead of on every issue.
+* **Extended PDOM frames.**  Stack frames carry ``[pc, reconv_pc, mask,
+  active_count, full_flag]`` so the active-lane count (needed for the
+  warp-activity statistic on every issue) and the common all-32-lanes case
+  are O(1) instead of a ``count_nonzero`` per step.  Mask arrays are never
+  mutated in place, so the cached count is exact by construction.
+* **Vectorized hot paths.**  Full-mask ALU ops use in-place ufunc forms
+  (``out=`` / ``where=``); global loads/stores generate lane addresses in
+  one vector op and feed segment sets to
+  :func:`repro.memory.coalescing.coalesce_address_list`; address-disjoint
+  atomics execute as gather/compute/scatter instead of a per-lane loop.
+
+Anything rare (shared/local memory, shuffles, votes, device-runtime calls,
+atomics with intra-warp address conflicts, immediate-base memory ops)
+delegates to the inherited reference handler, which keeps the two cores
+trivially identical where speed does not matter.
+
+Stat-exactness invariants worth keeping in mind when editing:
+
+* ``coalesce_address_list`` must produce segments in ascending order —
+  the same order ``np.unique`` gives the reference core — because DRAM
+  bank/row state and the L2's LRU depend on access order.
+* The reference serializes conflicting atomic lanes in lane order; the
+  vectorized path therefore only handles all-distinct address sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..config import WARP_SIZE
+from ..errors import ExecutionError
+from ..isa.instructions import Bank, Cmp, Opcode, Reg, Special
+from ..memory.coalescing import coalesce_address_list
+from .warp import _CMP_FUNCS, _DISPATCH, Warp
+
+# ----------------------------------------------------------------------
+# Shared warp geometry
+#
+# Lane geometry depends only on (block_dims, block_threads, warp_index),
+# so warps of equally-shaped blocks share one set of read-only arrays
+# instead of recomputing five vector ops per warp construction.
+# ----------------------------------------------------------------------
+_GEOM_CACHE: Dict[Tuple[int, int, int, int], tuple] = {}
+
+
+def _geometry(bx: int, by: int, threads: int, warp_index: int) -> tuple:
+    key = (bx, by, threads, warp_index)
+    cached = _GEOM_CACHE.get(key)
+    if cached is None:
+        linear = warp_index * WARP_SIZE + np.arange(WARP_SIZE, dtype=np.int64)
+        init_mask = linear < threads
+        clamped = np.minimum(linear, threads - 1)
+        tid_x = clamped % bx
+        tid_y = (clamped // bx) % by
+        tid_z = clamped // (bx * by)
+        active = int(np.count_nonzero(init_mask))
+        for arr in (init_mask, clamped, tid_x, tid_y, tid_z):
+            arr.setflags(write=False)
+        cached = (init_mask, tid_x, tid_y, tid_z, clamped, active)
+        _GEOM_CACHE[key] = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# Operand encoding
+# ----------------------------------------------------------------------
+def _enc_i(operand):
+    """Integer operand -> (reg_index, imm); reg_index -1 means immediate.
+
+    Returns None when the immediate is not an integer (the reference
+    core's unsafe cast then defines the semantics; delegate to it).
+    Mirrors ``Warp._val_i``: any Reg reads the int bank.
+    """
+    if type(operand) is Reg:
+        return operand.idx, 0
+    value = operand.value
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        return None
+    return -1, int(value)
+
+
+def _enc_f(operand):
+    """Float operand -> (kind, reg_index, imm) with kind 0=float reg,
+    1=int reg (converted), 2=immediate.  Mirrors ``Warp._val_f``."""
+    if type(operand) is Reg:
+        if operand.bank == Bank.FLT:
+            return 0, operand.idx, 0.0
+        return 1, operand.idx, 0.0
+    return 2, -1, operand.value
+
+
+def _fval(w, kind, idx, imm):
+    if kind == 0:
+        return w.regs_f[idx]
+    if kind == 1:
+        return w.regs_i[idx].astype(np.float64)
+    return imm
+
+
+# ----------------------------------------------------------------------
+# Shared timing helper for global-memory instructions
+# ----------------------------------------------------------------------
+def _global_timing(w, addrs: np.ndarray, is_write: bool, cycle: int) -> None:
+    segments = coalesce_address_list(addrs.tolist())
+    cstats = w._stats.coalescing
+    cstats.warp_accesses += 1
+    cstats.transactions += len(segments)
+    cstats.lanes += addrs.size
+    cstats.histogram[len(segments)] += 1
+    completion = w._gpu.memsys.warp_access_list(segments, is_write, cycle)
+    if is_write:
+        w.ready_cycle = cycle + w._alu_lat
+    else:
+        w.ready_cycle = completion
+
+
+def _lane_addrs(w, frame, base_idx: int, off: int) -> np.ndarray:
+    """Active-lane global addresses (register base), bounds-checked."""
+    base = w.regs_i[base_idx]
+    if not frame[4]:
+        base = base[frame[2]]
+    addrs = base + off if off else base
+    if addrs.size:
+        lo = int(addrs.min())
+        hi = int(addrs.max())
+        if lo < 0 or hi >= w._mem_size:
+            raise ExecutionError(
+                f"kernel {w.tb.func.name!r}: global access out of range "
+                f"(addr {lo}..{hi}, mem size {w._mem_size})"
+            )
+    return addrs
+
+
+# ----------------------------------------------------------------------
+# Instruction-kernel builders.  Each returns a closure run(w, frame,
+# cycle) -> bool (True iff the pc was updated), or None to delegate to
+# the reference handler.
+# ----------------------------------------------------------------------
+_INT_BIN_UFUNCS = {
+    Opcode.IADD: np.add,
+    Opcode.ISUB: np.subtract,
+    Opcode.IMUL: np.multiply,
+    Opcode.IMIN: np.minimum,
+    Opcode.IMAX: np.maximum,
+    Opcode.IAND: np.bitwise_and,
+    Opcode.IOR: np.bitwise_or,
+    Opcode.IXOR: np.bitwise_xor,
+    Opcode.ISHL: np.left_shift,
+    Opcode.ISHR: np.right_shift,
+}
+
+_FLT_BIN_UFUNCS = {
+    Opcode.FADD: np.add,
+    Opcode.FSUB: np.subtract,
+    Opcode.FMUL: np.multiply,
+    Opcode.FMIN: np.minimum,
+    Opcode.FMAX: np.maximum,
+}
+
+
+def _make_ibin(instr):
+    ufunc = _INT_BIN_UFUNCS[instr.op]
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    b = _enc_i(instr.b)
+    if a is None or b is None:
+        return None
+    ai, av = a
+    bi, bv = b
+
+    def run(w, frame, cycle):
+        ri = w.regs_i
+        av_ = ri[ai] if ai >= 0 else av
+        bv_ = ri[bi] if bi >= 0 else bv
+        if frame[4]:
+            ufunc(av_, bv_, out=ri[d])
+        else:
+            ufunc(av_, bv_, out=ri[d], where=frame[2])
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+def _make_idivmod(instr):
+    ufunc = np.floor_divide if instr.op == Opcode.IDIV else np.remainder
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    b = _enc_i(instr.b)
+    if a is None or b is None:
+        return None
+    ai, av = a
+    bi, bv = b
+
+    def run(w, frame, cycle):
+        ri = w.regs_i
+        av_ = ri[ai] if ai >= 0 else av
+        if bi >= 0:
+            bv_ = ri[bi]
+            safe = np.where(bv_ == 0, 1, bv_)
+        else:
+            safe = 1 if bv == 0 else bv
+        if frame[4]:
+            ufunc(av_, safe, out=ri[d])
+        else:
+            ufunc(av_, safe, out=ri[d], where=frame[2])
+        w.ready_cycle = cycle + w._sfu_lat
+        return False
+
+    return run
+
+
+def _make_iunary(instr):
+    ufunc = np.negative if instr.op == Opcode.INEG else np.bitwise_not
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    if a is None:
+        return None
+    ai, av = a
+
+    def run(w, frame, cycle):
+        ri = w.regs_i
+        av_ = ri[ai] if ai >= 0 else av
+        if frame[4]:
+            ufunc(av_, out=ri[d])
+        else:
+            ufunc(av_, out=ri[d], where=frame[2])
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+def _make_mov(instr):
+    d = instr.dst.idx
+    if type(instr.a) is Reg:
+        ai, av = instr.a.idx, 0
+    else:
+        ai, av = -1, instr.a.value
+
+    def run(w, frame, cycle):
+        ri = w.regs_i
+        src = ri[ai] if ai >= 0 else av
+        if frame[4]:
+            np.copyto(ri[d], src, casting="unsafe")
+        else:
+            np.copyto(ri[d], src, where=frame[2], casting="unsafe")
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+def _make_fbin(instr):
+    ufunc = _FLT_BIN_UFUNCS[instr.op]
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+    bk, bi, bv = _enc_f(instr.b)
+
+    def run(w, frame, cycle):
+        av_ = _fval(w, ak, ai, av)
+        bv_ = _fval(w, bk, bi, bv)
+        rd = w.regs_f[d]
+        if frame[4]:
+            ufunc(av_, bv_, out=rd)
+        else:
+            ufunc(av_, bv_, out=rd, where=frame[2])
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+def _make_fdiv(instr):
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+    bk, bi, bv = _enc_f(instr.b)
+
+    def run(w, frame, cycle):
+        av_ = _fval(w, ak, ai, av)
+        bv_ = _fval(w, bk, bi, bv)
+        if isinstance(bv_, np.ndarray):
+            safe = np.where(bv_ == 0.0, 1.0, bv_)
+        else:
+            safe = 1.0 if bv_ == 0.0 else bv_
+        rd = w.regs_f[d]
+        if frame[4]:
+            np.divide(av_, safe, out=rd)
+        else:
+            np.divide(av_, safe, out=rd, where=frame[2])
+        w.ready_cycle = cycle + w._sfu_lat
+        return False
+
+    return run
+
+
+def _make_funary(instr):
+    op = instr.op
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+
+    def run(w, frame, cycle):
+        av_ = _fval(w, ak, ai, av)
+        rd = w.regs_f[d]
+        full = frame[4]
+        mask = frame[2]
+        sfu = False
+        if op == Opcode.FNEG:
+            result = np.negative(av_)
+        elif op == Opcode.FABS:
+            result = np.abs(np.asarray(av_))
+        elif op == Opcode.FSQRT:
+            result = np.sqrt(np.abs(np.asarray(av_, dtype=np.float64)))
+            sfu = True
+        else:  # FMOV
+            result = av_
+        if full:
+            np.copyto(rd, result, casting="unsafe")
+        else:
+            np.copyto(rd, result, where=mask, casting="unsafe")
+        w.ready_cycle = cycle + (w._sfu_lat if sfu else w._alu_lat)
+        return False
+
+    return run
+
+
+def _make_itof(instr):
+    d = instr.dst.idx
+    if type(instr.a) is Reg:
+        ai, av = instr.a.idx, 0.0
+    else:
+        ai, av = -1, instr.a.value
+
+    def run(w, frame, cycle):
+        src = w.regs_i[ai] if ai >= 0 else np.asarray(av, dtype=np.float64)
+        rd = w.regs_f[d]
+        if frame[4]:
+            np.copyto(rd, src, casting="unsafe")
+        else:
+            np.copyto(rd, src, where=frame[2], casting="unsafe")
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+def _make_ftoi(instr):
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+
+    def run(w, frame, cycle):
+        src = np.asarray(_fval(w, ak, ai, av), dtype=np.float64).astype(np.int64)
+        rd = w.regs_i[d]
+        if frame[4]:
+            np.copyto(rd, src, casting="unsafe")
+        else:
+            np.copyto(rd, src, where=frame[2], casting="unsafe")
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+def _make_setp(instr):
+    fn = _CMP_FUNCS[instr.cmp]
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    b = _enc_i(instr.b)
+    if a is None or b is None:
+        return None
+    ai, av = a
+    bi, bv = b
+
+    def run(w, frame, cycle):
+        ri = w.regs_i
+        av_ = ri[ai] if ai >= 0 else av
+        bv_ = ri[bi] if bi >= 0 else bv
+        result = fn(np.asarray(av_), np.asarray(bv_))
+        if frame[4]:
+            np.copyto(ri[d], result, casting="unsafe")
+        else:
+            np.copyto(ri[d], result, where=frame[2], casting="unsafe")
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+def _make_fsetp(instr):
+    fn = _CMP_FUNCS[instr.cmp]
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+    bk, bi, bv = _enc_f(instr.b)
+
+    def run(w, frame, cycle):
+        av_ = np.asarray(_fval(w, ak, ai, av), dtype=np.float64)
+        bv_ = np.asarray(_fval(w, bk, bi, bv), dtype=np.float64)
+        result = fn(av_, bv_)
+        rd = w.regs_i[d]
+        if frame[4]:
+            np.copyto(rd, result, casting="unsafe")
+        else:
+            np.copyto(rd, result, where=frame[2], casting="unsafe")
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+def _make_selp(instr):
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    b = _enc_i(instr.b)
+    c = _enc_i(instr.c)
+    if a is None or b is None or c is None:
+        return None
+    ai, av = a
+    bi, bv = b
+    ci, cv = c
+
+    def run(w, frame, cycle):
+        ri = w.regs_i
+        cond = (ri[ci] != 0) if ci >= 0 else (cv != 0)
+        result = np.where(cond, ri[ai] if ai >= 0 else av, ri[bi] if bi >= 0 else bv)
+        if frame[4]:
+            np.copyto(ri[d], result, casting="unsafe")
+        else:
+            np.copyto(ri[d], result, where=frame[2], casting="unsafe")
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+_SPECIAL_GETTERS = {
+    Special.TID_X: lambda w: w.tid_x,
+    Special.TID_Y: lambda w: w.tid_y,
+    Special.TID_Z: lambda w: w.tid_z,
+    Special.NTID_X: lambda w: w.tb.block_dims[0],
+    Special.NTID_Y: lambda w: w.tb.block_dims[1],
+    Special.NTID_Z: lambda w: w.tb.block_dims[2],
+    Special.CTAID_X: lambda w: w.tb.ctaid[0],
+    Special.CTAID_Y: lambda w: w.tb.ctaid[1],
+    Special.CTAID_Z: lambda w: w.tb.ctaid[2],
+    Special.NCTAID_X: lambda w: w.tb.grid_dims[0],
+    Special.NCTAID_Y: lambda w: w.tb.grid_dims[1],
+    Special.NCTAID_Z: lambda w: w.tb.grid_dims[2],
+    Special.PARAM: lambda w: w.tb.param_addr,
+    Special.GTID: lambda w: w.gtid,
+}
+
+
+def _make_read_special(instr):
+    getter = _SPECIAL_GETTERS.get(instr.special)
+    if getter is None:
+        return None
+    d = instr.dst.idx
+
+    def run(w, frame, cycle):
+        value = getter(w)
+        rd = w.regs_i[d]
+        if frame[4]:
+            np.copyto(rd, value, casting="unsafe")
+        else:
+            np.copyto(rd, value, where=frame[2], casting="unsafe")
+        w.ready_cycle = cycle + w._alu_lat
+        return False
+
+    return run
+
+
+def _make_load(instr):
+    if type(instr.a) is not Reg:
+        return None
+    is_float = instr.op == Opcode.FLD
+    d = instr.dst.idx
+    base_idx = instr.a.idx
+    off = instr.offset
+
+    def run(w, frame, cycle):
+        addrs = _lane_addrs(w, frame, base_idx, off)
+        mem = w._mem_f if is_float else w._mem_i
+        reg = (w.regs_f if is_float else w.regs_i)[d]
+        if frame[4]:
+            reg[:] = mem[addrs]
+        else:
+            reg[frame[2]] = mem[addrs]
+        _global_timing(w, addrs, False, cycle)
+        return False
+
+    return run
+
+
+def _make_store(instr):
+    if type(instr.a) is not Reg:
+        return None
+    is_float = instr.op == Opcode.FST
+    base_idx = instr.a.idx
+    off = instr.offset
+    if is_float:
+        sk, si, sv = _enc_f(instr.b)
+    else:
+        b = _enc_i(instr.b)
+        if b is None:
+            return None
+        si, sv = b
+        sk = None
+
+    def run(w, frame, cycle):
+        addrs = _lane_addrs(w, frame, base_idx, off)
+        if is_float:
+            src = _fval(w, sk, si, sv)
+            mem = w._mem_f
+        else:
+            src = w.regs_i[si] if si >= 0 else sv
+            mem = w._mem_i
+        if isinstance(src, np.ndarray):
+            mem[addrs] = src if frame[4] else src[frame[2]]
+        else:
+            mem[addrs] = src
+        _global_timing(w, addrs, True, cycle)
+        return False
+
+    return run
+
+
+def _make_atomic(instr):
+    if type(instr.a) is not Reg:
+        return None
+    op = instr.op
+    base_idx = instr.a.idx
+    off = instr.offset
+    d = instr.dst.idx if instr.dst is not None else -1
+    b = _enc_i(instr.b)
+    if b is None:
+        return None
+    bi, bv = b
+    if instr.c is not None:
+        c = _enc_i(instr.c)
+        if c is None:
+            return None
+        ci, cv = c
+    else:
+        ci, cv = -1, 0
+    ref_handler = _DISPATCH[op]
+
+    def run(w, frame, cycle):
+        full = frame[4]
+        mask = frame[2]
+        base = w.regs_i[base_idx]
+        if not full:
+            base = base[mask]
+        addrs = base + off if off else base
+        alist = addrs.tolist()
+        if len(set(alist)) != len(alist):
+            # Intra-warp address conflict: the reference core serializes
+            # conflicting lanes in lane order; keep its exact semantics.
+            return ref_handler(w, instr, frame, mask, cycle)
+        for a in alist:
+            if a < 0 or a >= w._mem_size:
+                raise ExecutionError(
+                    f"kernel {w.tb.func.name!r}: atomic out of range at {a}"
+                )
+        mem = w._mem_i
+        old = mem[addrs]
+        if d >= 0:
+            if full:
+                w.regs_i[d][:] = old
+            else:
+                w.regs_i[d][mask] = old
+        if bi >= 0:
+            vals = w.regs_i[bi] if full else w.regs_i[bi][mask]
+        else:
+            vals = bv
+        if op == Opcode.ATOM_ADD:
+            mem[addrs] = old + vals
+        elif op == Opcode.ATOM_MIN:
+            mem[addrs] = np.minimum(old, vals)
+        elif op == Opcode.ATOM_MAX:
+            mem[addrs] = np.maximum(old, vals)
+        elif op == Opcode.ATOM_OR:
+            mem[addrs] = old | vals
+        elif op == Opcode.ATOM_EXCH:
+            mem[addrs] = vals
+        else:  # ATOM_CAS: b is compare, c is the new value
+            new = (w.regs_i[ci] if full else w.regs_i[ci][mask]) if ci >= 0 else cv
+            mem[addrs] = np.where(old == vals, new, old)
+        _global_timing(w, addrs, False, cycle)
+        return False
+
+    return run
+
+
+def _make_bra(instr):
+    target = instr.target
+    if instr.pred is None:
+
+        def run_uncond(w, frame, cycle):
+            w.ready_cycle = cycle + w._alu_lat
+            frame[0] = target
+            return True
+
+        return run_uncond
+
+    p = instr.pred.idx
+    sense = instr.pred_sense
+    rpc = instr.reconv
+
+    def run(w, frame, cycle):
+        w.ready_cycle = cycle + w._alu_lat
+        predv = w.regs_i[p] != 0
+        if not sense:
+            predv = ~predv
+        mask = frame[2]
+        taken = mask & predv
+        n_taken = int(np.count_nonzero(taken))
+        if n_taken == 0:
+            w._stats.branches_uniform += 1
+            frame[0] += 1
+            return True
+        n_active = frame[3]
+        if n_taken == n_active:
+            w._stats.branches_uniform += 1
+            frame[0] = target
+            return True
+        w._stats.branches_diverged += 1
+        fall = mask & ~predv
+        pc = frame[0]
+        frame[0] = rpc
+        stack = w.stack
+        # Divergent paths are strict subsets of a <=32-lane mask, so the
+        # full flag is always False on pushed frames.
+        stack.append([pc + 1, rpc, fall, n_active - n_taken, False])
+        stack.append([target, rpc, taken, n_taken, False])
+        return True
+
+    return run
+
+
+def _make_join(instr):
+    def run(w, frame, cycle):
+        w.ready_cycle = cycle + 1
+        return False
+
+    return run
+
+
+def _make_bar(instr):
+    def run(w, frame, cycle):
+        frame[0] += 1
+        w.at_barrier = True
+        w.tb.arrive_barrier(w, cycle)
+        return True
+
+    return run
+
+
+def _make_exit(instr):
+    def run(w, frame, cycle):
+        w.finished = True
+        w.tb.warp_finished(w, cycle)
+        return True
+
+    return run
+
+
+_BUILDERS = {
+    Opcode.IADD: _make_ibin,
+    Opcode.ISUB: _make_ibin,
+    Opcode.IMUL: _make_ibin,
+    Opcode.IMIN: _make_ibin,
+    Opcode.IMAX: _make_ibin,
+    Opcode.IAND: _make_ibin,
+    Opcode.IOR: _make_ibin,
+    Opcode.IXOR: _make_ibin,
+    Opcode.ISHL: _make_ibin,
+    Opcode.ISHR: _make_ibin,
+    Opcode.IDIV: _make_idivmod,
+    Opcode.IMOD: _make_idivmod,
+    Opcode.INEG: _make_iunary,
+    Opcode.INOT: _make_iunary,
+    Opcode.MOV: _make_mov,
+    Opcode.FADD: _make_fbin,
+    Opcode.FSUB: _make_fbin,
+    Opcode.FMUL: _make_fbin,
+    Opcode.FMIN: _make_fbin,
+    Opcode.FMAX: _make_fbin,
+    Opcode.FDIV: _make_fdiv,
+    Opcode.FNEG: _make_funary,
+    Opcode.FSQRT: _make_funary,
+    Opcode.FABS: _make_funary,
+    Opcode.FMOV: _make_funary,
+    Opcode.ITOF: _make_itof,
+    Opcode.FTOI: _make_ftoi,
+    Opcode.SETP: _make_setp,
+    Opcode.FSETP: _make_fsetp,
+    Opcode.SELP: _make_selp,
+    Opcode.READ_SPECIAL: _make_read_special,
+    Opcode.LD: _make_load,
+    Opcode.FLD: _make_load,
+    Opcode.ST: _make_store,
+    Opcode.FST: _make_store,
+    Opcode.ATOM_ADD: _make_atomic,
+    Opcode.ATOM_MIN: _make_atomic,
+    Opcode.ATOM_MAX: _make_atomic,
+    Opcode.ATOM_OR: _make_atomic,
+    Opcode.ATOM_EXCH: _make_atomic,
+    Opcode.ATOM_CAS: _make_atomic,
+    Opcode.BRA: _make_bra,
+    Opcode.JOIN: _make_join,
+    Opcode.NOP: _make_join,
+    Opcode.BAR: _make_bar,
+    Opcode.EXIT: _make_exit,
+}
+
+
+def _make_ref(instr, handler):
+    """Fallback: adapt a reference ``Warp`` handler to the decoded form."""
+
+    def run(w, frame, cycle):
+        return handler(w, instr, frame, frame[2], cycle)
+
+    return run
+
+
+def decode_program(program) -> tuple:
+    """Decode a finalized program into (kernel table, n_int, n_flt).
+
+    The table holds one ``(closure, opcode)`` pair per pc; the result is
+    cached on the program, so all warps of all launches share one decode.
+    """
+    cached = getattr(program, "_fast_table", None)
+    if cached is not None:
+        return cached
+    table: List[tuple] = []
+    for instr in program.instructions:
+        op = instr.op
+        builder = _BUILDERS.get(op)
+        run = builder(instr) if builder is not None else None
+        if run is None:
+            run = _make_ref(instr, _DISPATCH[op])
+        table.append((run, op))
+    highest = program.max_register_index()
+    cached = (table, highest["int"] + 1, highest["flt"] + 1)
+    program._fast_table = cached
+    return cached
+
+
+class FastWarp(Warp):
+    """Warp with pre-decoded instruction kernels and extended frames."""
+
+    __slots__ = ("_table", "_alu_lat", "_sfu_lat")
+
+    def __init__(self, tb, warp_index: int, context_slot: int) -> None:
+        gpu = tb.gpu
+        func = tb.func
+        self.tb = tb
+        self.warp_index = warp_index
+        self.context_slot = context_slot
+        self.hw_slot_base = tb.smx.smx_id * 157 + context_slot * WARP_SIZE
+        self.age = 0
+        self._gpu = gpu
+        self._instrs = func.program.instructions
+        self._mem_i = gpu.memory.i
+        self._mem_f = gpu.memory.f
+        self._mem_size = gpu.memory.size_words
+        self._stats = gpu.stats
+        self._cfg = gpu.config
+        self._lat = gpu.latency
+        self._alu_lat = gpu.config.alu_latency
+        self._sfu_lat = gpu.config.sfu_latency
+
+        table, n_int, n_flt = decode_program(func.program)
+        self._table = table
+        self.regs_i = np.zeros((n_int, WARP_SIZE), dtype=np.int64)
+        self.regs_f = np.zeros((n_flt, WARP_SIZE), dtype=np.float64)
+
+        bx, by, _bz = tb.block_dims
+        threads = tb.block_threads
+        init_mask, tid_x, tid_y, tid_z, clamped, active = _geometry(
+            bx, by, threads, warp_index
+        )
+        self.init_mask = init_mask
+        self.tid_x = tid_x
+        self.tid_y = tid_y
+        self.tid_z = tid_z
+        self.gtid = tb.block_linear_index * threads + clamped
+
+        self.stack = [[0, -1, init_mask, active, active == WARP_SIZE]]
+        self.ready_cycle = 0
+        self.finished = False
+        self.at_barrier = False
+
+    def step(self, cycle: int) -> None:
+        """Execute one decoded instruction for the active frame's lanes."""
+        stack = self.stack
+        frame = stack[-1]
+        while len(stack) > 1 and frame[1] >= 0 and frame[0] == frame[1]:
+            stack.pop()
+            frame = stack[-1]
+        pc = frame[0]
+        try:
+            run, op = self._table[pc]
+        except IndexError:
+            raise ExecutionError(
+                f"warp ran off the end of kernel {self.tb.func.name!r} at pc={pc}"
+            ) from None
+        stats = self._stats
+        stats.issued_instructions += 1
+        stats.active_lane_sum += frame[3]
+        tracer = self._gpu.tracer
+        if tracer is not None:
+            tracer.on_issue(self, pc, op, frame[3], cycle)
+        if not run(self, frame, cycle):
+            frame[0] = pc + 1

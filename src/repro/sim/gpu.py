@@ -30,6 +30,9 @@ from .stats import LaunchKind, LaunchRecord, SimStats
 from ..config import WORD_BYTES
 from ..dtbl.aggregation import AggLaunchRequest
 
+#: Sentinel burst horizon when no other SMX wake-up bounds the burst.
+_FAR_FUTURE = 1 << 62
+
 
 class DeviceRuntime:
     """Device-side runtime services invoked from warp instructions."""
@@ -131,6 +134,12 @@ class GPU:
         self.active_warps = 0
         self._events: list = []
         self._event_seq = itertools.count()
+        #: Fast core: per-SMX earliest wake-up cycle (``_FAR_FUTURE`` =
+        #: idle), fed by :meth:`_notify_smx_ready`.  Entries may be
+        #: conservatively early; an SMX woken with nothing to do simply
+        #: no-ops its tick and re-derives its true next-ready cycle.
+        self.fast_core = bool(self.config.fast_core)
+        self._smx_ready_at: List[int] = [_FAR_FUTURE] * self.config.num_smx
         # Per-SMX local-memory arenas, allocated lazily on first use.
         self._local_arenas: List[Optional[int]] = [None] * self.config.num_smx
 
@@ -176,8 +185,12 @@ class GPU:
         block,
         params: Sequence[Union[int, float]] = (),
         stream: int = 0,
-    ) -> int:
-        """Launch a kernel from the host; returns the parameter address."""
+    ) -> HostLaunchSpec:
+        """Launch a kernel from the host; returns the queued launch spec.
+
+        The spec's ``param_addr`` is the parameter-buffer address; its
+        ``record`` field is filled in once the KMU dispatches the kernel.
+        """
         if kernel_name not in self.kernels:
             raise LaunchError(f"unknown kernel {kernel_name!r}")
         grid_dims = as_dims(grid)
@@ -185,10 +198,9 @@ class GPU:
         func = self.kernels[kernel_name]
         func.validate_block(block_dims, self.config.max_resident_threads)
         param_addr = self.write_params(params)
-        self.kmu.enqueue_host(
-            HostLaunchSpec(kernel_name, grid_dims, block_dims, param_addr, stream)
-        )
-        return param_addr
+        spec = HostLaunchSpec(kernel_name, grid_dims, block_dims, param_addr, stream)
+        self.kmu.enqueue_host(spec)
+        return spec
 
     # ------------------------------------------------------------------
     # Event queue
@@ -197,6 +209,13 @@ class GPU:
         if cycle < self.cycle:
             cycle = self.cycle
         heapq.heappush(self._events, (cycle, next(self._event_seq), fn))
+
+    def _notify_smx_ready(self, smx_id: int, cycle: int) -> None:
+        """An SMX gained issuable work at ``cycle`` (block arrival, barrier
+        release).  Only the fast core consumes these wake-ups; the
+        reference loop polls every SMX every visited cycle."""
+        if self.fast_core and cycle < self._smx_ready_at[smx_id]:
+            self._smx_ready_at[smx_id] = cycle
 
     # ------------------------------------------------------------------
     # Main loop
@@ -214,6 +233,90 @@ class GPU:
         ``max_cycles`` is an absolute watchdog on the global cycle counter
         (which accumulates across successive :meth:`run` calls).
         """
+        if self.fast_core:
+            return self._run_fast(max_cycles)
+        return self._run_reference(max_cycles)
+
+    def _run_fast(self, max_cycles: Optional[int]) -> SimStats:
+        """Event-driven loop: tick only the SMXs whose wake-up is due.
+
+        Same-cycle SMXs tick in ascending ``smx_id`` — the order the
+        reference loop's ``for smx in smxs`` imposes — because DRAM
+        bank/row and L2 LRU state depend on access order.  When exactly
+        one SMX is runnable (the common case for these workloads), its
+        issue loop runs as a local burst (:meth:`SMX.burst`) without
+        round-tripping through this loop each cycle.
+        """
+        events = self._events
+        ready = self._smx_ready_at
+        smxs = self.smxs
+        stats = self.stats
+        far = _FAR_FUTURE
+        watchdog_horizon = far if max_cycles is None else max_cycles + 1
+        n = len(smxs)
+        while True:
+            cycle = self.cycle
+            while events and events[0][0] <= cycle:
+                _, _, fn = heapq.heappop(events)
+                fn(cycle)
+            wake = min(ready)
+            if wake <= cycle:
+                first_id = ready.index(wake)
+                ready[first_id] = far
+                horizon = min(ready)
+                if horizon > cycle:
+                    # Single runnable SMX: burst locally, bounded by the
+                    # next event, the next other-SMX wake-up, and the
+                    # watchdog.
+                    if watchdog_horizon < horizon:
+                        horizon = watchdog_horizon
+                    cycle, nxt = smxs[first_id].burst(cycle, horizon, events)
+                    ready[first_id] = nxt if nxt is not None else far
+                else:
+                    # Several SMXs are due: restore the popped entry and
+                    # tick every due SMX in ascending id (the reference
+                    # loop's order).
+                    ready[first_id] = wake
+                    for smx_id in range(n):
+                        if ready[smx_id] <= cycle:
+                            smx = smxs[smx_id]
+                            smx.tick(cycle)
+                            nxt = smx.next_ready_cycle()
+                            ready[smx_id] = nxt if nxt is not None else far
+            next_cycle = min(ready)
+            if events and events[0][0] < next_cycle:
+                next_cycle = events[0][0]
+            if next_cycle >= far:
+                # Safety net: re-derive readiness straight from the SMXs so
+                # a missed wake-up surfaces as continued progress (and gets
+                # caught by the differential tests), never a false drain.
+                rearmed = False
+                for smx in smxs:
+                    nxt = smx.next_ready_cycle()
+                    if nxt is not None:
+                        ready[smx.smx_id] = nxt
+                        rearmed = True
+                if rearmed:
+                    continue
+                if self._has_inflight_work():
+                    raise SimulationError(
+                        "simulator deadlock: in-flight work but no runnable "
+                        f"warps or events at cycle {cycle}"
+                    )
+                break
+            if next_cycle <= cycle:
+                next_cycle = cycle + 1
+            if max_cycles is not None and next_cycle > max_cycles:
+                raise SimulationError(
+                    f"watchdog: simulation exceeded {max_cycles} cycles"
+                )
+            stats.resident_warp_cycles += self.active_warps * (next_cycle - cycle)
+            self.cycle = next_cycle
+        stats.cycles = self.cycle
+        return stats
+
+    def _run_reference(self, max_cycles: Optional[int]) -> SimStats:
+        """Reference loop: poll every SMX at every visited cycle."""
         events = self._events
         smxs = self.smxs
         while True:

@@ -15,9 +15,14 @@ from typing import Deque, Dict, List, Optional
 
 
 class HostLaunchSpec:
-    """A host-side kernel launch queued in a stream."""
+    """A host-side kernel launch queued in a stream.
 
-    __slots__ = ("kernel_name", "grid_dims", "block_dims", "param_addr", "stream_id")
+    ``record`` is filled in by the KMU at dispatch time with the launch's
+    :class:`~repro.sim.stats.LaunchRecord`, which backs the host API's
+    :class:`~repro.runtime.host_api.Event` handles.
+    """
+
+    __slots__ = ("kernel_name", "grid_dims", "block_dims", "param_addr", "stream_id", "record")
 
     def __init__(self, kernel_name, grid_dims, block_dims, param_addr, stream_id):
         self.kernel_name = kernel_name
@@ -25,6 +30,7 @@ class HostLaunchSpec:
         self.block_dims = block_dims
         self.param_addr = param_addr
         self.stream_id = stream_id
+        self.record = None
 
 
 class HardwareWorkQueue:

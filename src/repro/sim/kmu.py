@@ -117,6 +117,7 @@ class KernelManagementUnit:
                 total_threads=_total(spec.grid_dims) * _total(spec.block_dims),
             )
             gpu.stats.launches.append(record)
+            spec.record = record
             stream_id: Optional[int] = spec.stream_id
         else:
             record = spec.record

@@ -36,6 +36,12 @@ class SMXScheduler:
         self.fcfs: Deque[KDEEntry] = deque()
         self.agt = AggregatedGroupTable(gpu.config.agt_entries)
         self._distribute_scheduled = False
+        #: Cycles with a pending gate-retry event (deduplicates the
+        #: fetch-gate wake-ups the same way _distribute_scheduled
+        #: deduplicates same-cycle passes; without this, every pass that
+        #: sees a gated group stacks another retry at the same cycle and
+        #: each retry grants a fresh per-SMX quota).
+        self._gate_retries: set = set()
         self._smx_cursor = 0
 
     # ------------------------------------------------------------------
@@ -89,7 +95,15 @@ class SMXScheduler:
         if quota == 0 and any(not e.fully_distributed for e in queue):
             self.notify(cycle + 1)
         if gates:
-            self._gpu.schedule_event(min(gates), lambda when: self.distribute(when))
+            when = min(gates)
+            if when not in self._gate_retries:
+                self._gate_retries.add(when)
+
+                def retry(at: int, when: int = when) -> None:
+                    self._gate_retries.discard(when)
+                    self.distribute(at)
+
+                self._gpu.schedule_event(when, retry)
         # When blocked purely by SMX capacity, on_block_complete re-notifies.
 
     def _next_tb(

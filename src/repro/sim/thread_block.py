@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, List
 import numpy as np
 
 from ..config import WARP_SIZE
+from .fast_warp import FastWarp
 from .kernel import KernelFunction, LaunchDims, dims_total
 from .warp import Warp
 
@@ -71,8 +72,9 @@ class ThreadBlock:
         self.shared = np.zeros(max(1, func.shared_words), dtype=np.int64)
         n_warps = (self.block_threads + WARP_SIZE - 1) // WARP_SIZE
         assert len(slots) == n_warps
+        warp_cls = FastWarp if self.gpu.config.fast_core else Warp
         self.warps: List[Warp] = [
-            Warp(self, w, slots[w]) for w in range(n_warps)
+            warp_cls(self, w, slots[w]) for w in range(n_warps)
         ]
         self._alive_warps = n_warps
         self._barrier_arrivals = 0

@@ -1,0 +1,201 @@
+"""Differential tests: the fast core must be stat-exact with the reference.
+
+The vectorized/event-driven execution core (``GPUConfig.fast_core=True``,
+the default) is a pure performance feature: every statistic the simulator
+reports — total cycles, per-launch timelines, coalescing histogram, DRAM
+row activity, occupancy integrals, divergence counts — must be *bit
+identical* to the reference interpreter (``fast_core=False``).  These
+tests run full workloads and targeted micro-kernels under both cores and
+compare a complete fingerprint of :class:`~repro.sim.stats.SimStats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import Device, ExecutionMode, GPUConfig, KernelBuilder, KernelFunction
+from repro.workloads.registry import get_benchmark
+
+from tests.helpers import reduce_kernel
+
+
+def fingerprint(stats):
+    """Every externally observable statistic, as a comparable value."""
+    c = stats.coalescing
+    d = stats.dram
+    return {
+        "cycles": stats.cycles,
+        "issued": stats.issued_instructions,
+        "lanes": stats.active_lane_sum,
+        "rwc": stats.resident_warp_cycles,
+        "coalescing": (
+            c.warp_accesses,
+            c.transactions,
+            c.lanes,
+            tuple(c.histogram.tolist()),
+        ),
+        "dram": (d.n_read, d.n_write, d.row_hits, d.row_misses, d.n_activity),
+        "footprint": (stats.footprint_bytes, stats.peak_footprint_bytes),
+        "agg": (
+            stats.agg_matched,
+            stats.agg_unmatched,
+            stats.agt_hash_hits,
+            stats.agt_hash_spills,
+        ),
+        "branches": (stats.branches_uniform, stats.branches_diverged),
+        "completed": (stats.blocks_completed, stats.kernels_completed),
+        "launches": tuple(
+            (
+                r.kind,
+                r.kernel_name,
+                r.launch_cycle,
+                r.first_exec_cycle,
+                r.fully_distributed_cycle,
+                r.completed_cycle,
+                r.total_blocks,
+                r.total_threads,
+                r.param_bytes,
+                r.record_bytes,
+            )
+            for r in stats.launches
+        ),
+    }
+
+
+def _config(fast: bool) -> GPUConfig:
+    return dataclasses.replace(GPUConfig.small(), fast_core=fast)
+
+
+def _workload_fingerprint(name: str, mode: ExecutionMode, fast: bool, scale: float):
+    workload = get_benchmark(name, mode, scale=scale)
+    result = workload.execute(config=_config(fast), latency_scale=0.25)
+    return fingerprint(result.stats)
+
+
+MODES = [ExecutionMode.FLAT, ExecutionMode.CDP, ExecutionMode.DTBL]
+
+
+class TestWorkloadDifferential:
+    """Full benchmark workloads, both cores, all three execution modes."""
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    def test_bfs_citation(self, mode):
+        assert _workload_fingerprint("bfs_citation", mode, True, 0.2) == (
+            _workload_fingerprint("bfs_citation", mode, False, 0.2)
+        )
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    def test_join_uniform(self, mode):
+        assert _workload_fingerprint("join_uniform", mode, True, 0.15) == (
+            _workload_fingerprint("join_uniform", mode, False, 0.15)
+        )
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    def test_amr(self, mode):
+        assert _workload_fingerprint("amr", mode, True, 0.15) == (
+            _workload_fingerprint("amr", mode, False, 0.15)
+        )
+
+    @pytest.mark.parametrize(
+        "mode",
+        [ExecutionMode.CDP_IDEAL, ExecutionMode.DTBL_IDEAL],
+        ids=lambda m: m.value,
+    )
+    def test_ideal_latency_variants(self, mode):
+        assert _workload_fingerprint("bfs_citation", mode, True, 0.2) == (
+            _workload_fingerprint("bfs_citation", mode, False, 0.2)
+        )
+
+
+# ----------------------------------------------------------------------
+# Micro-kernel differentials: stress specific interpreter paths.
+# ----------------------------------------------------------------------
+def _run_kernel(func: KernelFunction, fast: bool, n: int = 512, block: int = 64):
+    dev = Device(config=_config(fast))
+    dev.register(func)
+    data = dev.upload(np.arange(n, dtype=np.int64) % 97)
+    out = dev.alloc(max(n, 1))
+    dev.launch(
+        func.name,
+        grid=(n + block - 1) // block,
+        block=block,
+        params=[n, data, out],
+    )
+    dev.synchronize()
+    return fingerprint(dev.stats), out.download()
+
+
+def _divergent_kernel() -> KernelFunction:
+    """Nested data-dependent branches + a divergent loop (PDOM stress)."""
+    k = KernelBuilder("diverge")
+    gtid = k.gtid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    with k.if_(k.lt(gtid, n)):
+        src = k.ld(param, offset=1)
+        dst = k.ld(param, offset=2)
+        value = k.ld(k.iadd(src, gtid))
+        acc = k.mov(0)
+        with k.while_(lambda: k.gt(value, 0)):
+            with k.if_(k.gt(k.iand(value, 1), 0)):
+                k.iadd(acc, value, dst=acc)
+            k.ishr(value, 1, dst=value)
+        k.st(k.iadd(dst, gtid), acc)
+    k.exit()
+    return KernelFunction("diverge", k.build())
+
+
+def _barrier_kernel() -> KernelFunction:
+    """Shared-memory reversal across a block-wide barrier."""
+    k = KernelBuilder("barrier")
+    gtid = k.gtid()
+    tid = k.tid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    src = k.ld(param, offset=1)
+    dst = k.ld(param, offset=2)
+    with k.if_(k.lt(gtid, n)):
+        k.sts(tid, k.ld(k.iadd(src, gtid)))
+    k.bar()
+    with k.if_(k.lt(gtid, n)):
+        rev = k.isub(k.isub(k.ntid(), 1), tid)
+        k.st(k.iadd(dst, gtid), k.lds(rev))
+    k.exit()
+    return KernelFunction("barrier", k.build(), shared_words=64)
+
+
+class TestMicroKernelDifferential:
+    def test_divergence(self):
+        fast, out_fast = _run_kernel(_divergent_kernel(), fast=True)
+        ref, out_ref = _run_kernel(_divergent_kernel(), fast=False)
+        assert fast == ref
+        np.testing.assert_array_equal(out_fast, out_ref)
+
+    def test_barriers_and_shared_memory(self):
+        fast, out_fast = _run_kernel(_barrier_kernel(), fast=True)
+        ref, out_ref = _run_kernel(_barrier_kernel(), fast=False)
+        assert fast == ref
+        np.testing.assert_array_equal(out_fast, out_ref)
+
+    def test_conflicting_atomics(self):
+        """All lanes hammer one address: lane-serialization order matters."""
+        results = []
+        for fast in (True, False):
+            dev = Device(config=_config(fast))
+            dev.register(reduce_kernel())
+            n = 700
+            data = dev.upload(np.arange(n, dtype=np.int64))
+            out = dev.upload(np.zeros(1, dtype=np.int64))
+            dev.launch("sum_reduce", grid=6, block=128, params=[n, data, out])
+            dev.synchronize()
+            results.append((fingerprint(dev.stats), int(out.download()[0])))
+        assert results[0] == results[1]
+        assert results[0][1] == n * (n - 1) // 2
+
+
+def test_fast_core_is_default():
+    assert GPUConfig().fast_core is True
+    assert GPUConfig.k20c().fast_core is True

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Perf smoke check: time the Fig. 11 benchmark suite against a baseline.
+
+Runs ``pytest benchmarks/test_fig11_speedup.py`` (which simulates the full
+benchmark grid with the fast core) under ``time.perf_counter`` and compares
+the wall-clock against the checked-in baseline in
+``benchmarks/perf_baseline.json``.  Exits non-zero if the run regresses by
+more than the baseline's ``max_regression`` fraction.
+
+Refresh the baseline after intentional perf changes::
+
+    PYTHONPATH=src python tools/perf_smoke.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "benchmarks" / "perf_baseline.json"
+
+
+def run_suite() -> float:
+    command = [sys.executable, "-m", "pytest", "-q", str(REPO / "benchmarks" / "test_fig11_speedup.py")]
+    start = time.perf_counter()
+    result = subprocess.run(command, cwd=REPO)
+    elapsed = time.perf_counter() - start
+    if result.returncode != 0:
+        print(f"perf smoke: benchmark suite FAILED (exit {result.returncode})")
+        sys.exit(result.returncode)
+    return elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline with this run"
+    )
+    args = parser.parse_args()
+
+    baseline = json.loads(BASELINE.read_text())
+    elapsed = run_suite()
+    limit = baseline["seconds"] * (1.0 + baseline["max_regression"])
+    print(
+        f"perf smoke: {elapsed:.1f}s "
+        f"(baseline {baseline['seconds']:.1f}s, limit {limit:.1f}s)"
+    )
+
+    if args.update:
+        baseline["seconds"] = round(elapsed, 1)
+        BASELINE.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"perf smoke: baseline updated to {baseline['seconds']}s")
+        return 0
+
+    if elapsed > limit:
+        print(
+            f"perf smoke: REGRESSION — exceeded the baseline by "
+            f"{elapsed / baseline['seconds'] - 1.0:+.0%} "
+            f"(allowed {baseline['max_regression']:.0%}). If intentional, "
+            "refresh with tools/perf_smoke.py --update"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
