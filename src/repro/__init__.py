@@ -20,7 +20,7 @@ from .config import GPUConfig, LatencyModel, WARP_SIZE
 from .errors import ReproError
 from .isa import KernelBuilder, Program
 from .runtime import Device, DeviceArray, Event, ExecutionMode, Stream
-from .sim import GPU, KernelFunction, SimStats
+from .sim import GPU, KernelFunction, SanitizerFinding, SanitizerReport, SimStats
 
 __version__ = "1.0.0"
 
@@ -37,6 +37,8 @@ __all__ = [
     "LatencyModel",
     "Program",
     "ReproError",
+    "SanitizerFinding",
+    "SanitizerReport",
     "SimStats",
     "WARP_SIZE",
     "__version__",

@@ -224,6 +224,14 @@ class GPUConfig:
     #: with the reference interpreter (``fast_core=False``), which is kept
     #: as the oracle for differential testing.
     fast_core: bool = True
+    #: Enable the execution sanitizer (:mod:`repro.sim.sanitizer`): shadow-
+    #: state data-race detection, out-of-bounds / use-after-free checks
+    #: against the allocator's live-range map, uninitialized-read tracking,
+    #: barrier-divergence detection and device-launch argument validation.
+    #: Purely observational — simulation results and statistics are
+    #: unchanged; findings accumulate in ``gpu.sanitizer.report``.  Also
+    #: switchable globally via the ``REPRO_SANITIZE`` environment variable.
+    sanitize: bool = False
 
     # ----- Launch bookkeeping ----------------------------------------------
     #: Global-memory bytes reserved per pending device-launched kernel

@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -60,8 +61,18 @@ def main(argv=None) -> int:
                         help=f"launch-latency scale (default {DEFAULT_LATENCY_SCALE})")
     parser.add_argument("--figure", default=None,
                         help="one of: 6-12, table2, table3, table4, overhead")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run every simulation with the execution "
+                             "sanitizer (race/OOB/uninit/barrier/launch "
+                             "checks); any finding fails the run")
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)
+
+    if args.sanitize:
+        # The env switch reaches every GPU the workloads construct,
+        # including figure paths that build their own configs; a finding
+        # raises WorkloadError out of Workload.execute with the report.
+        os.environ["REPRO_SANITIZE"] = "1"
 
     verbose = not args.quiet
     start = time.time()
@@ -99,6 +110,8 @@ def main(argv=None) -> int:
         print(_GRID_FIGURES[args.figure](grid).render())
     else:
         parser.error(f"unknown figure {args.figure!r}")
+    if args.sanitize:
+        print("sanitizer: clean (no findings across all simulations)")
     if verbose:
         print(f"\n[{time.time() - start:.1f}s]")
     return 0

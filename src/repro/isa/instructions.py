@@ -276,13 +276,9 @@ class Instr:
         return " ".join(parts)
 
 
-#: Opcodes that read or write global memory through the coalescer.
-GLOBAL_MEMORY_OPS = frozenset(
+#: Global-memory read-modify-write atomics (each is both a read and a write).
+ATOMIC_OPS = frozenset(
     {
-        Opcode.LD,
-        Opcode.ST,
-        Opcode.FLD,
-        Opcode.FST,
         Opcode.ATOM_ADD,
         Opcode.ATOM_MIN,
         Opcode.ATOM_MAX,
@@ -291,6 +287,20 @@ GLOBAL_MEMORY_OPS = frozenset(
         Opcode.ATOM_CAS,
     }
 )
+
+#: Opcodes that read or write global memory through the coalescer.
+GLOBAL_MEMORY_OPS = frozenset({Opcode.LD, Opcode.ST, Opcode.FLD, Opcode.FST}) | ATOMIC_OPS
+
+#: Opcodes that observe the value at a global address.
+GLOBAL_READ_OPS = frozenset({Opcode.LD, Opcode.FLD}) | ATOMIC_OPS
+
+#: Opcodes that mutate the value at a global address.
+GLOBAL_WRITE_OPS = frozenset({Opcode.ST, Opcode.FST}) | ATOMIC_OPS
+
+#: Shared-memory accesses (per-block scratchpad; never coalesced).
+SHARED_READ_OPS = frozenset({Opcode.LDS})
+SHARED_WRITE_OPS = frozenset({Opcode.STS})
+SHARED_MEMORY_OPS = SHARED_READ_OPS | SHARED_WRITE_OPS
 
 #: Opcodes whose result latency uses the SFU pipeline.
 SFU_OPS = frozenset({Opcode.IDIV, Opcode.IMOD, Opcode.FDIV, Opcode.FSQRT})

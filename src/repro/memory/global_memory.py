@@ -37,6 +37,13 @@ class GlobalMemory:
         self.f = self._buffer.view(np.float64)
         # Word 0 is reserved so that address 0 can act as a null pointer.
         self._next_free = 1
+        #: Live allocations: base address -> word count.  Freed ranges are
+        #: removed; the sanitizer keeps the dead-range shadow.
+        self._live: dict = {}
+        #: Optional allocation/host-write observer (the sanitizer).  Must
+        #: provide ``on_alloc(base, words)``, ``on_free(base, words)`` and
+        #: ``on_host_write(base, words)``.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # Allocation
@@ -52,7 +59,41 @@ class GlobalMemory:
                 f"{self.size_words - base} free"
             )
         self._next_free = base + words
+        self._live[base] = int(words)
+        if self.observer is not None:
+            self.observer.on_alloc(base, int(words))
         return base
+
+    def free(self, base: int, words: int = None) -> None:
+        """Free a previous :meth:`alloc`.
+
+        Under the bump allocator only the most recent live allocation's
+        words are actually reclaimed (``_next_free`` rolls back); freeing
+        older allocations removes them from the live-range map but leaves
+        the high-water mark in place.  Freeing an address that is not a
+        live allocation base — including a second free of the same base —
+        raises :class:`MemoryError_`.
+        """
+        extent = self._live.get(base)
+        if extent is None:
+            raise MemoryError_(
+                f"free() of address {base}, which is not a live allocation "
+                "(double free, interior pointer, or never allocated)"
+            )
+        if words is not None and int(words) != extent:
+            raise MemoryError_(
+                f"free() extent mismatch at address {base}: allocation is "
+                f"{extent} words, free() passed {words}"
+            )
+        del self._live[base]
+        if base + extent == self._next_free:
+            self._next_free = base
+        if self.observer is not None:
+            self.observer.on_free(base, extent)
+
+    def live_range(self, base: int):
+        """Word count of the live allocation at ``base``, or None."""
+        return self._live.get(base)
 
     def alloc_array(self, values: np.ndarray) -> int:
         """Allocate and initialize from an int or float array."""
@@ -62,6 +103,8 @@ class GlobalMemory:
             self.f[base : base + arr.size] = arr.ravel()
         else:
             self.i[base : base + arr.size] = arr.ravel()
+        if self.observer is not None:
+            self.observer.on_host_write(base, arr.size)
         return base
 
     @property
@@ -84,6 +127,8 @@ class GlobalMemory:
     def write_int(self, addr: int, value: int) -> None:
         self.check_range(addr, 1)
         self.i[addr] = value
+        if self.observer is not None:
+            self.observer.on_host_write(addr, 1)
 
     def read_float(self, addr: int) -> float:
         self.check_range(addr, 1)
@@ -92,6 +137,8 @@ class GlobalMemory:
     def write_float(self, addr: int, value: float) -> None:
         self.check_range(addr, 1)
         self.f[addr] = value
+        if self.observer is not None:
+            self.observer.on_host_write(addr, 1)
 
     def read_ints(self, addr: int, count: int) -> np.ndarray:
         self.check_range(addr, count)
@@ -101,6 +148,8 @@ class GlobalMemory:
         arr = np.asarray(values, dtype=np.int64)
         self.check_range(addr, arr.size)
         self.i[addr : addr + arr.size] = arr
+        if self.observer is not None:
+            self.observer.on_host_write(addr, arr.size)
 
     def read_floats(self, addr: int, count: int) -> np.ndarray:
         self.check_range(addr, count)
@@ -110,6 +159,8 @@ class GlobalMemory:
         arr = np.asarray(values, dtype=np.float64)
         self.check_range(addr, arr.size)
         self.f[addr : addr + arr.size] = arr
+        if self.observer is not None:
+            self.observer.on_host_write(addr, arr.size)
 
     def check_range(self, addr: int, count: int = 1) -> None:
         """Raise :class:`MemoryError_` unless [addr, addr+count) is valid."""

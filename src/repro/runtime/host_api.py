@@ -32,10 +32,13 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+import dataclasses
+
 from ..config import GPUConfig, LatencyModel
-from ..errors import ConfigError, DeviceError, SimulationError
+from ..errors import ConfigError, DeviceError, MemoryError_, SimulationError
 from ..sim.gpu import GPU
 from ..sim.kernel import KernelFunction
+from ..sim.sanitizer import SanitizerReport
 from ..sim.stats import SimStats
 from .modes import ExecutionMode
 
@@ -73,7 +76,15 @@ class DeviceArray(int):
         return self.words
 
     def download(self) -> np.ndarray:
-        """Copy back to the host, restoring dtype and shape."""
+        """Copy back to the host, restoring dtype and shape.
+
+        Raises :class:`~repro.errors.MemoryError_` once the array has been
+        passed to :meth:`Device.free`.
+        """
+        if getattr(self, "_freed", False):
+            raise MemoryError_(
+                f"download() of freed DeviceArray at address {int(self)}"
+            )
         memory = self._device._memory()
         if np.issubdtype(self.dtype, np.floating):
             flat = memory.read_floats(self.addr, self.words)
@@ -138,6 +149,33 @@ class Event(int):
             )
         return record.completed_cycle - record.launch_cycle
 
+    def sanitizer_report(self) -> SanitizerReport:
+        """Sanitizer findings whose cycle falls in this launch's window.
+
+        The window is [launch cycle, completion cycle] (open-ended while
+        the launch is in flight), so findings from other launches running
+        concurrently in that interval are included too — per-launch
+        attribution finer than a cycle window would require tracking which
+        KDE entry each block came from.  Requires ``Device(sanitize=True)``.
+        """
+        san = self._device.gpu.sanitizer
+        if san is None:
+            raise ConfigError(
+                "sanitizer is not enabled; create the device with "
+                "Device(sanitize=True) or GPUConfig(sanitize=True)"
+            )
+        record = self._spec.record
+        if record is None:
+            return san.report
+        window = SanitizerReport()
+        hi = record.completed_cycle
+        for finding in san.report.findings:
+            if finding.cycle >= record.launch_cycle and (
+                hi is None or finding.cycle <= hi
+            ):
+                window.add(finding)
+        return window
+
 
 class Stream:
     """A software stream (cudaStream): launches in one stream serialize."""
@@ -186,8 +224,14 @@ class Device:
         mode: ExecutionMode = ExecutionMode.FLAT,
         latency: Optional[LatencyModel] = None,
         memory_words: int = 4 * 1024 * 1024,
+        sanitize: Optional[bool] = None,
     ) -> None:
         _validate_mode_latency(mode, latency)
+        if sanitize is not None:
+            config = dataclasses.replace(
+                config if config is not None else GPUConfig.k20c(),
+                sanitize=bool(sanitize),
+            )
         self.mode = mode
         self.gpu = GPU(
             config=config,
@@ -282,14 +326,21 @@ class Device:
 
         The simulator's global memory uses a bump allocator, so only the
         most recent live allocation's words are actually reclaimed; freeing
-        older allocations succeeds but leaves the high-water mark in place
-        (footprint statistics intentionally track the peak).
+        older allocations removes them from the live-range map but leaves
+        the high-water mark in place (footprint statistics intentionally
+        track the peak).  Freeing a :class:`DeviceArray` twice raises
+        :class:`~repro.errors.MemoryError_`, as does a later
+        :meth:`DeviceArray.download`; with the sanitizer enabled, kernel
+        accesses to the freed range are reported as use-after-free.
         """
         memory = self._memory()
         if isinstance(array, DeviceArray):
-            addr, words = array.addr, array.words
-            if addr + words == memory._next_free:
-                memory._next_free = addr
+            if getattr(array, "_freed", False):
+                raise MemoryError_(
+                    f"double free of DeviceArray at address {int(array)}"
+                )
+            memory.free(array.addr, array.words)
+            array._freed = True
         # Raw addresses carry no extent; accept and ignore (the old API had
         # no free at all, so this is strictly more than before).
 
@@ -312,6 +363,8 @@ class Device:
         memory = self._memory()
         memory.check_range(addr, words)
         memory.i[addr : addr + words] = value
+        if memory.observer is not None:
+            memory.observer.on_host_write(addr, words)
 
     def copy_device(self, dst: int, src: int, words: int) -> None:
         """cudaMemcpyDeviceToDevice (word-granular)."""
@@ -319,6 +372,8 @@ class Device:
         memory.check_range(src, words)
         memory.check_range(dst, words)
         memory.i[dst : dst + words] = memory.i[src : src + words].copy()
+        if memory.observer is not None:
+            memory.observer.on_host_write(dst, words)
 
     # ------------------------------------------------------------------
     # Streams
@@ -383,6 +438,25 @@ class Device:
             return self._named_events[end] - self._named_events[start]
         except KeyError as exc:
             raise KeyError(f"event {exc.args[0]!r} was never recorded") from None
+
+    # ------------------------------------------------------------------
+    # Sanitizer
+    # ------------------------------------------------------------------
+    @property
+    def sanitizing(self) -> bool:
+        """True iff the execution sanitizer is attached to this device."""
+        return not self._closed and self.gpu.sanitizer is not None
+
+    def sanitizer_report(self) -> SanitizerReport:
+        """All sanitizer findings so far (requires ``sanitize=True``)."""
+        self._check_open()
+        san = self.gpu.sanitizer
+        if san is None:
+            raise ConfigError(
+                "sanitizer is not enabled; create the device with "
+                "Device(sanitize=True) or GPUConfig(sanitize=True)"
+            )
+        return san.report
 
     # ------------------------------------------------------------------
     @property

@@ -1,6 +1,7 @@
 """Cycle-level GPU simulator (GK110/Kepler-like baseline, Section 2)."""
 
 from .kernel import KernelFunction, LaunchDims, dims_total
+from .sanitizer import Sanitizer, SanitizerFinding, SanitizerReport
 from .stats import LaunchKind, LaunchRecord, SimStats
 from .gpu import GPU
 
@@ -10,6 +11,9 @@ __all__ = [
     "LaunchDims",
     "LaunchKind",
     "LaunchRecord",
+    "Sanitizer",
+    "SanitizerFinding",
+    "SanitizerReport",
     "SimStats",
     "dims_total",
 ]

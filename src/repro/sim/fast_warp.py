@@ -781,6 +781,7 @@ class FastWarp(Warp):
         self._stats = gpu.stats
         self._cfg = gpu.config
         self._lat = gpu.latency
+        self._san = gpu.sanitizer
         self._alu_lat = gpu.config.alu_latency
         self._sfu_lat = gpu.config.sfu_latency
 
@@ -825,5 +826,7 @@ class FastWarp(Warp):
         tracer = self._gpu.tracer
         if tracer is not None:
             tracer.on_issue(self, pc, op, frame[3], cycle)
+        if self._san is not None:
+            self._san.observe(self, pc, self._instrs[pc], frame[2], cycle)
         if not run(self, frame, cycle):
             frame[0] = pc + 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -130,6 +131,16 @@ class GPU:
         self.cycle = 0
         #: Optional execution tracer (see :mod:`repro.sim.tracing`).
         self.tracer = None
+        #: Optional execution sanitizer (see :mod:`repro.sim.sanitizer`):
+        #: enabled via ``GPUConfig.sanitize`` or the ``REPRO_SANITIZE``
+        #: environment variable; ``None`` otherwise (zero per-issue cost
+        #: beyond one attribute check in each core's step()).
+        self.sanitizer = None
+        if self.config.sanitize or os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+            from .sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
+            self.memory.observer = self.sanitizer
         #: Resident, unfinished warps across all SMXs (occupancy integral).
         self.active_warps = 0
         self._events: list = []
@@ -176,6 +187,8 @@ class GPU:
                 self.memory.f[base + i] = value
             else:
                 self.memory.i[base + i] = int(value)
+        if self.memory.observer is not None:
+            self.memory.observer.on_host_write(base, len(values))
         return base
 
     def host_launch(

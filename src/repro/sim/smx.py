@@ -112,6 +112,8 @@ class SMX:
             age,
             slots,
         )
+        if self.gpu.sanitizer is not None:
+            self.gpu.sanitizer.on_block_start(tb, start_cycle)
         self.blocks.append(tb)
         self.resident_warps += len(tb.warps)
         self.gpu.active_warps += len(tb.warps)
@@ -145,6 +147,8 @@ class SMX:
         for warp in tb.warps:
             self._free_slots.append(warp.context_slot)
         self.blocks.remove(tb)
+        if self.gpu.sanitizer is not None:
+            self.gpu.sanitizer.on_block_finished(tb, cycle)
         self.gpu.stats.blocks_completed += 1
         self.gpu.scheduler.on_block_complete(tb, cycle)
 

@@ -39,6 +39,7 @@ class ThreadBlock:
         "block_threads",
         "_alive_warps",
         "_barrier_arrivals",
+        "san_uid",
     )
 
     def __init__(
@@ -78,9 +79,14 @@ class ThreadBlock:
         ]
         self._alive_warps = n_warps
         self._barrier_arrivals = 0
+        #: Sanitizer block uid (0 = untracked; assigned in on_block_start).
+        self.san_uid = 0
 
     # ------------------------------------------------------------------
     def warp_finished(self, warp: Warp, cycle: int) -> None:
+        san = self.gpu.sanitizer
+        if san is not None and self._barrier_arrivals:
+            san.on_exit_during_barrier(self, warp, cycle)
         self._alive_warps -= 1
         self.smx.warp_retired(warp, cycle)
         if self._alive_warps == 0:
@@ -90,11 +96,17 @@ class ThreadBlock:
             self._release_barrier(cycle)
 
     def arrive_barrier(self, warp: Warp, cycle: int) -> None:
+        san = self.gpu.sanitizer
+        if san is not None and self._alive_warps < len(self.warps):
+            san.on_barrier_after_exit(self, warp, cycle)
         self._barrier_arrivals += 1
         if self._barrier_arrivals >= self._alive_warps:
             self._release_barrier(cycle)
 
     def _release_barrier(self, cycle: int) -> None:
+        san = self.gpu.sanitizer
+        if san is not None:
+            san.on_barrier_release(self)
         latency = self.gpu.config.barrier_latency
         for warp in self.warps:
             if warp.at_barrier:

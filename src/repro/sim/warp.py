@@ -65,6 +65,7 @@ class Warp:
         "_stats",
         "_cfg",
         "_lat",
+        "_san",
     )
 
     def __init__(self, tb: "ThreadBlock", warp_index: int, context_slot: int) -> None:
@@ -90,6 +91,7 @@ class Warp:
         self._stats = gpu.stats
         self._cfg = gpu.config
         self._lat = gpu.latency
+        self._san = gpu.sanitizer
 
         highest = func.program.max_register_index()
         self.regs_i = np.zeros((highest["int"] + 1, WARP_SIZE), dtype=np.int64)
@@ -164,6 +166,8 @@ class Warp:
         tracer = self._gpu.tracer
         if tracer is not None:
             tracer.on_issue(self, pc, instr.op, active, cycle)
+        if self._san is not None:
+            self._san.observe(self, pc, instr, mask, cycle)
         handler = _DISPATCH[instr.op]
         if not handler(self, instr, frame, mask, cycle):
             frame[0] = pc + 1

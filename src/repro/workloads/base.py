@@ -129,6 +129,11 @@ class Workload(abc.ABC):
         device.synchronize(max_cycles=max_cycles)
         if verify:
             self.check(device)
+        if device.sanitizing and not device.sanitizer_report().clean:
+            raise WorkloadError(
+                f"{self.name} ({self.mode.value}): sanitizer findings:\n"
+                + device.sanitizer_report().format()
+            )
         return WorkloadResult(
             name=self.name,
             mode=self.mode,

@@ -1,0 +1,22 @@
+"""Test-suite configuration: Hypothesis profiles.
+
+The ``ci`` profile pins the fuzz tests to a deterministic, bounded run
+(fixed seed via derandomization, small example counts, no deadline) so
+the CI fuzz-smoke job is reproducible and fast; ``dev`` raises the
+example count for local soak runs.  Select with
+``HYPOTHESIS_PROFILE=ci|dev`` (default: Hypothesis defaults, with the
+per-test ``@settings`` caps in each file).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, max_examples=10, deadline=None)
+settings.register_profile("dev", max_examples=50, deadline=None)
+
+_profile = os.environ.get("HYPOTHESIS_PROFILE")
+if _profile:
+    settings.load_profile(_profile)

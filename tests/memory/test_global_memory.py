@@ -34,6 +34,63 @@ class TestAllocator:
         assert mem.bytes_in_use == 11 * 8  # null word + 10
 
 
+class TestFree:
+    def test_lifo_free_reclaims_words(self):
+        mem = GlobalMemory(1024)
+        a = mem.alloc(10)
+        mem.free(a)
+        assert mem.alloc(10) == a  # the words were actually reclaimed
+
+    def test_non_lifo_free_keeps_high_water_mark(self):
+        mem = GlobalMemory(1024)
+        a = mem.alloc(10)
+        b = mem.alloc(10)
+        mem.free(a)  # not the most recent allocation
+        assert mem.live_range(a) is None
+        assert mem.live_range(b) == 10
+        # The bump pointer cannot roll back past b.
+        assert mem.alloc(4) == b + 10
+
+    def test_double_free_raises(self):
+        mem = GlobalMemory(1024)
+        a = mem.alloc(10)
+        mem.free(a)
+        with pytest.raises(MemoryError_, match="double free"):
+            mem.free(a)
+
+    def test_interior_pointer_free_raises(self):
+        mem = GlobalMemory(1024)
+        a = mem.alloc(10)
+        with pytest.raises(MemoryError_, match="not a live allocation"):
+            mem.free(a + 1)
+
+    def test_never_allocated_free_raises(self):
+        mem = GlobalMemory(1024)
+        with pytest.raises(MemoryError_):
+            mem.free(512)
+
+    def test_extent_mismatch_raises(self):
+        mem = GlobalMemory(1024)
+        a = mem.alloc(10)
+        with pytest.raises(MemoryError_, match="extent mismatch"):
+            mem.free(a, words=4)
+
+    def test_free_then_realloc_reuses_lifo_range(self):
+        mem = GlobalMemory(1024)
+        a = mem.alloc(8)
+        b = mem.alloc(16)
+        mem.free(b)
+        mem.free(a)  # LIFO order: both roll back
+        assert mem.alloc(24) == a
+        assert mem.live_range(a) == 24
+
+    def test_live_range_reports_extents(self):
+        mem = GlobalMemory(1024)
+        a = mem.alloc(3)
+        assert mem.live_range(a) == 3
+        assert mem.live_range(a + 1) is None
+
+
 class TestViews:
     def test_int_float_views_share_storage(self):
         mem = GlobalMemory(64)

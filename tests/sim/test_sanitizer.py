@@ -1,0 +1,379 @@
+"""Negative tests for the execution sanitizer.
+
+Every detector has a seeded-violation program that must trigger it, and
+every scenario runs under both execution cores (reference ``Warp`` and
+``FastWarp``) asserting the *identical* structured findings — the
+sanitizer is part of the stat-exact contract between the two cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    Device,
+    ExecutionMode,
+    GPUConfig,
+    KernelBuilder,
+    KernelFunction,
+    SanitizerReport,
+)
+from repro.errors import ConfigError
+
+
+def _device(fast: bool, mode: ExecutionMode = ExecutionMode.FLAT, sanitize=True) -> Device:
+    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    return Device(config=config, mode=mode, sanitize=sanitize)
+
+
+def run_both(scenario, mode: ExecutionMode = ExecutionMode.FLAT) -> SanitizerReport:
+    """Run ``scenario(device)`` under both cores; findings must be identical."""
+    reports = []
+    for fast in (True, False):
+        dev = _device(fast, mode)
+        scenario(dev)
+        reports.append(dev.sanitizer_report())
+    fast_report, ref_report = reports
+    assert fast_report.counts == ref_report.counts
+    assert fast_report.findings == ref_report.findings
+    return fast_report
+
+
+def _launch(dev, func, grid=1, block=32, params=()):
+    dev.register(func)
+    dev.launch(func.name, grid=grid, block=block, params=list(params))
+    dev.synchronize()
+
+
+# ----------------------------------------------------------------------
+# Clean baseline
+# ----------------------------------------------------------------------
+class TestCleanPrograms:
+    def test_racefree_map_kernel_is_clean(self):
+        def scenario(dev):
+            k = KernelBuilder("clean_map")
+            out = k.ld(k.param())
+            gtid = k.gtid()
+            k.st(k.iadd(out, gtid), k.imul(gtid, 3))
+            buf = dev.alloc(64)
+            _launch(dev, KernelFunction("clean_map", k.build()),
+                    grid=2, block=32, params=[buf.addr])
+
+        report = run_both(scenario)
+        assert report.clean
+        assert report.total() == 0
+        assert report.format() == "sanitizer: clean (no findings)"
+
+    def test_same_value_flag_stores_are_tolerated(self):
+        # The graph-coloring idiom: many threads (and divergent lanes of
+        # one warp) clear the same flag word with the same value.
+        def scenario(dev):
+            k = KernelBuilder("flag_clear")
+            flag = k.ld(k.param())
+            k.st(flag, 0)
+            buf = dev.alloc(1)
+            dev.write_int(buf.addr, 1)
+            _launch(dev, KernelFunction("flag_clear", k.build()),
+                    grid=2, block=64, params=[buf.addr])
+
+        assert run_both(scenario).clean
+
+    def test_atomic_contention_is_tolerated(self):
+        # Atomic-vs-atomic and the SSSP idiom of a plain reset racing an
+        # atomic claim are treated as synchronization, not races.
+        def scenario(dev):
+            k = KernelBuilder("atomic_mix")
+            word = k.ld(k.param())
+            k.atom_add(word, 1)
+            with k.if_(k.eq(k.gtid(), 0)):
+                k.st(word, 0)  # plain reset of the atomically-updated word
+            buf = dev.alloc(1)
+            dev.write_int(buf.addr, 0)
+            _launch(dev, KernelFunction("atomic_mix", k.build()),
+                    grid=2, block=32, params=[buf.addr])
+
+        assert run_both(scenario).clean
+
+
+# ----------------------------------------------------------------------
+# Data races
+# ----------------------------------------------------------------------
+class TestDataRace:
+    def test_conflicting_stores_to_one_word(self):
+        def scenario(dev):
+            k = KernelBuilder("racy")
+            out = k.ld(k.param())
+            k.st(out, k.gtid())  # every thread stores a *different* value
+            buf = dev.alloc(1)
+            scenario.addr = buf.addr
+            _launch(dev, KernelFunction("racy", k.build()),
+                    grid=2, block=32, params=[buf.addr])
+
+        report = run_both(scenario)
+        assert report.counts.get("data-race", 0) > 0
+        finding = report.by_kind("data-race")[0]
+        assert finding.kernel == "racy"
+        assert finding.pc >= 0
+        assert finding.address == scenario.addr
+        assert finding.lanes  # the offending lanes are recorded
+
+    def test_store_racing_prior_read(self):
+        def scenario(dev):
+            k = KernelBuilder("rw_race")
+            base = k.ld(k.param())
+            gtid = k.gtid()
+            k.ld(base)  # every thread reads word 0 ...
+            with k.if_(k.eq(gtid, 33)):
+                k.st(base, 7)  # ... then a thread in another warp writes it
+            buf = dev.alloc(1)
+            dev.write_int(buf.addr, 1)
+            _launch(dev, KernelFunction("rw_race", k.build()),
+                    grid=1, block=64, params=[buf.addr])
+
+        report = run_both(scenario)
+        assert report.counts.get("data-race", 0) > 0
+        assert "read" in report.by_kind("data-race")[0].detail
+
+    def test_divergent_lanes_storing_different_values(self):
+        def scenario(dev):
+            k = KernelBuilder("lane_race")
+            out = k.ld(k.param())
+            k.st(k.iadd(out, k.imod(k.gtid(), 2)), k.gtid())
+            buf = dev.alloc(2)
+            _launch(dev, KernelFunction("lane_race", k.build()),
+                    grid=1, block=32, params=[buf.addr])
+
+        report = run_both(scenario)
+        assert report.counts.get("data-race", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Shared-memory races
+# ----------------------------------------------------------------------
+class TestSharedRace:
+    def test_unbarriered_shared_store_conflict(self):
+        def scenario(dev):
+            k = KernelBuilder("smem_race")
+            k.sts(0, k.tid())  # all threads store to shared word 0
+            func = KernelFunction("smem_race", k.build(), shared_words=4)
+            _launch(dev, func, grid=1, block=64)
+
+        report = run_both(scenario)
+        assert report.counts.get("shared-race", 0) > 0
+        assert report.by_kind("shared-race")[0].address == 0
+
+    def test_barriered_shared_exchange_is_clean(self):
+        def scenario(dev):
+            k = KernelBuilder("smem_ok")
+            out = k.ld(k.param())
+            tid = k.tid()
+            k.sts(tid, k.imul(tid, 2))
+            k.bar()
+            other = k.lds(k.imod(k.iadd(tid, 1), 64))
+            k.st(k.iadd(out, k.gtid()), other)
+            buf = dev.alloc(64)
+            func = KernelFunction("smem_ok", k.build(), shared_words=64)
+            _launch(dev, func, grid=1, block=64, params=[buf.addr])
+
+        assert run_both(scenario).clean
+
+
+# ----------------------------------------------------------------------
+# Allocator checks
+# ----------------------------------------------------------------------
+class TestMemoryChecks:
+    def test_oob_read_past_allocation(self):
+        def scenario(dev):
+            k = KernelBuilder("oob_read")
+            base = k.ld(k.param())
+            k.ld(base, offset=100)  # far past the 4-word allocation
+            buf = dev.alloc(4)
+            dev.write_int(buf.addr, 0)
+            scenario.addr = buf.addr + 100
+            _launch(dev, KernelFunction("oob_read", k.build()),
+                    grid=1, block=32, params=[buf.addr])
+
+        report = run_both(scenario)
+        assert report.counts.get("oob", 0) > 0
+        assert report.by_kind("oob")[0].address == scenario.addr
+
+    def test_use_after_free(self):
+        def scenario(dev):
+            k = KernelBuilder("uaf")
+            base = k.ld(k.param())
+            k.ld(base)
+            buf = dev.alloc(8)
+            dev.alloc(4)  # pin the bump pointer: free() below can't roll back
+            dev.write_int(buf.addr, 3)
+            addr = buf.addr
+            dev.free(buf)
+            scenario.addr = addr
+            _launch(dev, KernelFunction("uaf", k.build()),
+                    grid=1, block=32, params=[addr])
+
+        report = run_both(scenario)
+        assert report.counts.get("use-after-free", 0) > 0
+        assert report.by_kind("use-after-free")[0].address == scenario.addr
+
+    def test_uninitialized_read(self):
+        def scenario(dev):
+            k = KernelBuilder("uninit")
+            base = k.ld(k.param())
+            k.ld(base)  # nothing ever wrote this allocation
+            buf = dev.alloc(4)
+            _launch(dev, KernelFunction("uninit", k.build()),
+                    grid=1, block=32, params=[buf.addr])
+
+        report = run_both(scenario)
+        assert report.counts.get("uninit-read", 0) > 0
+
+    def test_initialized_read_is_clean(self):
+        def scenario(dev):
+            k = KernelBuilder("init_ok")
+            base = k.ld(k.param())
+            k.ld(base)
+            buf = dev.alloc(4)
+            dev.write_int(buf.addr, 42)
+            _launch(dev, KernelFunction("init_ok", k.build()),
+                    grid=1, block=32, params=[buf.addr])
+
+        assert run_both(scenario).clean
+
+
+# ----------------------------------------------------------------------
+# Barrier divergence
+# ----------------------------------------------------------------------
+class TestBarrierDivergence:
+    def test_bar_under_divergence(self):
+        def scenario(dev):
+            k = KernelBuilder("divergent_bar")
+            with k.if_(k.lt(k.tid(), 16)):  # half the warp can never arrive
+                k.bar()
+            _launch(dev, KernelFunction("divergent_bar", k.build()),
+                    grid=1, block=32)
+
+        report = run_both(scenario)
+        assert report.counts.get("barrier-divergence", 0) > 0
+        finding = report.by_kind("barrier-divergence")[0]
+        assert "partial active mask" in finding.detail
+        assert finding.lanes  # the lanes that can never arrive
+
+    def test_warp_exit_with_sibling_at_barrier(self):
+        def scenario(dev):
+            k = KernelBuilder("exit_bar")
+            with k.if_(k.lt(k.tid(), 32)):  # warp 0 barriers, warp 1 exits
+                k.bar()
+            _launch(dev, KernelFunction("exit_bar", k.build()),
+                    grid=1, block=64)
+
+        report = run_both(scenario)
+        assert report.counts.get("barrier-divergence", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Device-launch validation
+# ----------------------------------------------------------------------
+class TestBadLaunch:
+    @pytest.mark.parametrize("mode", [ExecutionMode.CDP, ExecutionMode.DTBL])
+    def test_zero_dim_device_launch(self, mode):
+        def scenario(dev):
+            child = KernelBuilder("child")
+            child.exit()
+            k = KernelBuilder("parent")
+            with k.if_(k.eq(k.gtid(), 0)):
+                buf = k.get_param_buffer(1)
+                k.st(buf, 7, offset=0)
+                zero = k.mov(0)
+                if mode is ExecutionMode.DTBL:
+                    k.launch_agg("child", buf, agg=zero, block=32)
+                else:
+                    k.stream_create()
+                    k.launch_device("child", buf, grid=zero, block=32)
+            k.exit()
+            dev.register(KernelFunction("child", child.build()))
+            _launch(dev, KernelFunction("parent", k.build()), grid=1, block=32)
+
+        report = run_both(scenario, mode=mode)
+        assert report.counts.get("bad-launch", 0) > 0
+        assert "non-positive dimension" in report.by_kind("bad-launch")[0].detail
+
+
+# ----------------------------------------------------------------------
+# Reporting API
+# ----------------------------------------------------------------------
+class TestReportingAPI:
+    def _racy_kernel(self):
+        k = KernelBuilder("racy")
+        k.st(k.ld(k.param()), k.gtid())
+        return KernelFunction("racy", k.build())
+
+    def _clean_kernel(self):
+        k = KernelBuilder("clean")
+        out = k.ld(k.param())
+        k.st(k.iadd(out, k.gtid()), 1)
+        return KernelFunction("clean", k.build())
+
+    def test_sanitizer_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        dev = Device(config=GPUConfig.k20c(), mode=ExecutionMode.FLAT)
+        assert not dev.sanitizing
+        with pytest.raises(ConfigError):
+            dev.sanitizer_report()
+
+    def test_event_report_requires_sanitizer(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        dev = Device(config=GPUConfig.k20c(), mode=ExecutionMode.FLAT)
+        dev.register(self._clean_kernel())
+        buf = dev.alloc(64)
+        event = dev.launch("clean", grid=1, block=32, params=[buf.addr])
+        dev.synchronize()
+        with pytest.raises(ConfigError):
+            event.sanitizer_report()
+
+    def test_event_report_windows_findings(self):
+        dev = _device(fast=True)
+        dev.register(self._racy_kernel())
+        dev.register(self._clean_kernel())
+        racy_buf = dev.alloc(1)
+        clean_buf = dev.alloc(64)
+        racy = dev.launch("racy", grid=1, block=32, params=[racy_buf.addr])
+        dev.synchronize()
+        clean = dev.launch("clean", grid=1, block=32, params=[clean_buf.addr])
+        dev.synchronize()
+        assert not racy.sanitizer_report().clean
+        assert clean.sanitizer_report().clean
+        # The device-wide report keeps everything.
+        assert dev.sanitizer_report().counts.get("data-race", 0) > 0
+
+    def test_report_counts_every_occurrence_but_dedups_sites(self):
+        dev = _device(fast=True)
+        dev.register(self._racy_kernel())
+        buf = dev.alloc(1)
+        for _ in range(3):
+            dev.launch("racy", grid=1, block=32, params=[buf.addr])
+            dev.synchronize()
+        report = dev.sanitizer_report()
+        # One (kind, kernel, pc) site, many occurrences.
+        assert len(report.by_kind("data-race")) == 1
+        assert report.counts["data-race"] > len(report.by_kind("data-race"))
+        assert "data-race" in report.format()
+
+    def test_env_var_enables_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        dev = Device(config=GPUConfig.k20c(), mode=ExecutionMode.FLAT)
+        assert dev.sanitizing
+
+    def test_sanitizer_does_not_change_results_or_timing(self):
+        def run(sanitize):
+            dev = Device(config=GPUConfig.k20c(), mode=ExecutionMode.FLAT,
+                         sanitize=sanitize)
+            dev.register(self._racy_kernel())
+            buf = dev.alloc(1)
+            dev.launch("racy", grid=1, block=32, params=[buf.addr])
+            stats = dev.synchronize()
+            return dev.read_int(buf.addr), stats.cycles
+
+        assert run(True) == run(False)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import Device, DeviceArray, Event, ExecutionMode, GPUConfig, LatencyModel, Stream
-from repro.errors import ConfigError, DeviceError, SimulationError
+from repro.errors import ConfigError, DeviceError, MemoryError_, SimulationError
 
 from tests.helpers import make_device, map_kernel
 
@@ -74,6 +74,36 @@ class TestDeviceArray:
         dev.free(a)  # not the top of the bump allocator: accepted, no-op
         d = dev.alloc(8)
         assert int(d) == int(c) + 32
+
+    def test_double_free_raises(self):
+        dev = small_device()
+        arr = dev.alloc(16)
+        dev.free(arr)
+        with pytest.raises(MemoryError_, match="double free"):
+            dev.free(arr)
+
+    def test_download_after_free_raises(self):
+        dev = small_device()
+        arr = dev.upload(np.arange(8))
+        dev.free(arr)
+        with pytest.raises(MemoryError_, match="freed DeviceArray"):
+            arr.download()
+
+    def test_non_lifo_free_then_download_raises(self):
+        dev = small_device()
+        a = dev.upload(np.arange(8))
+        b = dev.upload(np.arange(8) * 2)
+        dev.free(a)  # non-LIFO: words stay allocated but the array is dead
+        with pytest.raises(MemoryError_):
+            a.download()
+        np.testing.assert_array_equal(b.download(), np.arange(8) * 2)
+
+    def test_raw_address_free_is_ignored(self):
+        dev = small_device()
+        arr = dev.alloc(16)
+        dev.free(int(arr))  # raw int carries no extent: accepted, no-op
+        dev.free(int(arr))  # and is not tracked, so no double-free either
+        np.testing.assert_array_equal(arr.download(), np.zeros(16))
 
 
 class TestEvent:

@@ -1,0 +1,128 @@
+"""Differential fuzz for device-side launches (CDP and DTBL).
+
+Hypothesis draws a list of per-parent work sizes ("degrees"); each parent
+thread either serializes its pocket of work (flat mode, or below the DFP
+threshold) or launches a child grid for it through the mode's mechanism —
+``cudaStreamCreate`` + ``cudaLaunchDevice`` for CDP, ``cudaLaunchAggGroup``
+for DTBL — using the same ``emit_dfp`` / ``emit_dynamic_launch`` helpers
+as the benchmark suite.  Parent and child memory effects must match the
+flat-equivalent execution and a pure-Python model exactly, under both
+execution cores, with the sanitizer enabled and clean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import Device, ExecutionMode, GPUConfig, KernelBuilder, KernelFunction
+from repro.workloads.common import emit_dfp, emit_dynamic_launch
+
+_THRESHOLD = 4
+_CHILD_BLOCK = 16
+_PARENT_BLOCK = 32
+
+
+def build_child() -> KernelFunction:
+    """One thread per work item: out[i] = parent_id * 100 + i."""
+    k = KernelBuilder("fuzz_child")
+    gtid = k.gtid()
+    param = k.param()
+    count = k.ld(param, offset=0)
+    with k.if_(k.lt(gtid, count)):
+        outbase = k.ld(param, offset=1)
+        pid = k.ld(param, offset=2)
+        k.st(k.iadd(outbase, gtid), k.iadd(k.imul(pid, 100), gtid))
+    k.exit()
+    return KernelFunction("fuzz_child", k.build())
+
+
+def build_parent(mode: ExecutionMode) -> KernelFunction:
+    """Params: [n, degrees, offsets, out, parent_out]."""
+    k = KernelBuilder("fuzz_parent")
+    gtid = k.gtid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    with k.if_(k.lt(gtid, n)):
+        degrees = k.ld(param, offset=1)
+        offsets = k.ld(param, offset=2)
+        out = k.ld(param, offset=3)
+        parent_out = k.ld(param, offset=4)
+        degree = k.ld(k.iadd(degrees, gtid))
+        outbase = k.iadd(out, k.ld(k.iadd(offsets, gtid)))
+        # The parent's own memory effect, present in every mode.
+        k.st(k.iadd(parent_out, gtid), k.iadd(k.imul(degree, 2), 1))
+
+        def serial() -> None:
+            with k.for_range(0, degree) as i:
+                k.st(k.iadd(outbase, i), k.iadd(k.imul(gtid, 100), i))
+
+        def launch() -> None:
+            emit_dynamic_launch(
+                k, mode, "fuzz_child", [degree, outbase, gtid], degree, _CHILD_BLOCK
+            )
+
+        emit_dfp(k, mode, degree, _THRESHOLD, launch, serial)
+    k.exit()
+    return KernelFunction("fuzz_parent", k.build())
+
+
+def run_mode(mode: ExecutionMode, degrees, fast: bool):
+    """Returns (out, parent_out) after a full run; sanitizer must be clean."""
+    n = len(degrees)
+    offsets = np.concatenate([[0], np.cumsum(degrees)[:-1]]).astype(np.int64)
+    total = int(np.sum(degrees))
+    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    dev = Device(config=config, mode=mode, sanitize=True)
+    dev.register(build_parent(mode))
+    if mode.is_dynamic:
+        dev.register(build_child())
+    deg_arr = dev.upload(np.asarray(degrees, dtype=np.int64))
+    off_arr = dev.upload(offsets)
+    out = dev.alloc(max(1, total))
+    parent_out = dev.alloc(n)
+    dev.launch(
+        "fuzz_parent",
+        grid=(n + _PARENT_BLOCK - 1) // _PARENT_BLOCK,
+        block=_PARENT_BLOCK,
+        params=[n, deg_arr, off_arr, out, parent_out],
+    )
+    dev.synchronize()
+    assert dev.sanitizer_report().clean, dev.sanitizer_report().format()
+    return dev.download_ints(out.addr, total), parent_out.download()
+
+
+def python_model(degrees):
+    """The flat-equivalent memory effects, computed directly."""
+    out = []
+    for t, d in enumerate(degrees):
+        out.extend(t * 100 + i for i in range(d))
+    parent_out = np.array([2 * d + 1 for d in degrees], dtype=np.int64)
+    return np.array(out, dtype=np.int64), parent_out
+
+
+class TestDeviceLaunchFuzz:
+    @settings(max_examples=10, deadline=None)
+    @given(degrees=st.lists(st.integers(0, 40), min_size=1, max_size=10))
+    def test_dynamic_modes_match_flat_equivalent(self, degrees):
+        expected_out, expected_parent = python_model(degrees)
+        flat_out, flat_parent = run_mode(ExecutionMode.FLAT, degrees, fast=True)
+        np.testing.assert_array_equal(flat_out, expected_out)
+        np.testing.assert_array_equal(flat_parent, expected_parent)
+        for mode in (ExecutionMode.CDP, ExecutionMode.DTBL):
+            for fast in (True, False):
+                got_out, got_parent = run_mode(mode, degrees, fast=fast)
+                np.testing.assert_array_equal(got_out, flat_out)
+                np.testing.assert_array_equal(got_parent, flat_parent)
+
+    def test_nested_launch_over_threshold_boundary(self):
+        # Deterministic pin: degrees straddling the DFP threshold exercise
+        # both the serial and the launched path in one grid.
+        degrees = [0, _THRESHOLD - 1, _THRESHOLD, 33, 1, 40]
+        expected_out, expected_parent = python_model(degrees)
+        for mode in (ExecutionMode.FLAT, ExecutionMode.CDP, ExecutionMode.DTBL):
+            got_out, got_parent = run_mode(mode, degrees, fast=True)
+            np.testing.assert_array_equal(got_out, expected_out)
+            np.testing.assert_array_equal(got_parent, expected_parent)

@@ -1,20 +1,27 @@
-"""Property test: random structured programs vs a Python evaluator.
+"""Property tests: random structured programs vs a Python evaluator.
 
 Hypothesis generates small ASTs of arithmetic, divergent ``if``s and
 bounded ``while`` loops over a per-lane accumulator.  Each AST is lowered
 twice: through the KernelBuilder onto the simulated GPU, and through a
 direct Python evaluator.  Per-lane results must match exactly — this
 stresses the PDOM reconvergence stack with arbitrary nesting shapes.
+
+The memory-op differential fuzz extends the grammar with global
+loads/stores at computed addresses, shared-memory staging separated by
+barriers, and atomic adds, and runs every program through *both*
+execution cores (reference and fast) with the sanitizer enabled: results
+must match the evaluator exactly and the sanitizer must stay clean.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Tuple
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro import KernelFunction
+from repro import Device, ExecutionMode, GPUConfig, KernelBuilder, KernelFunction
 
 from tests.helpers import make_device, map_kernel
 
@@ -133,3 +140,124 @@ class TestRandomStructuredPrograms:
         got = dev.download_ints(dst, len(arr))
         expected = np.array([evaluate(int(v), nodes) for v in data], dtype=np.int64)
         np.testing.assert_array_equal(got, expected)
+
+
+# ======================================================================
+# Memory-op differential fuzz
+# ======================================================================
+# Top-level phase encodings (uniform control flow, so barriers are legal):
+#   ("ops", nodes)       per-lane arithmetic AST from _ast() above
+#   ("shared", shift)    sts(tid, acc); bar(); acc += smem[(tid+shift)%B]; bar()
+#   ("global", salt)     scratch[gtid*4 + (acc&3)] = acc^salt; acc += loaded back
+#   ("atomic", imm)      atom_add(counter, (acc&7)+1); acc ^= imm
+
+_BLOCK = 64
+
+
+def _phases():
+    ops = st.tuples(st.just("ops"), _ast(depth=1))
+    shared = st.tuples(st.just("shared"), st.integers(1, _BLOCK - 1))
+    global_ = st.tuples(st.just("global"), st.integers(0, 15))
+    atomic = st.tuples(st.just("atomic"), st.integers(0, 31))
+    return st.lists(st.one_of(ops, shared, global_, atomic), min_size=1, max_size=5)
+
+
+def build_mem_fuzz(phases) -> KernelFunction:
+    """Params: [n, src, dst, scratch, counter].  All block threads
+    participate (inactive tails carry acc = 0) so the barriers in shared
+    phases are uniform; only the final store is guarded."""
+    k = KernelBuilder("mem_fuzz")
+    gtid = k.gtid()
+    tid = k.tid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    src = k.ld(param, offset=1)
+    dst = k.ld(param, offset=2)
+    scratch = k.ld(param, offset=3)
+    counter = k.ld(param, offset=4)
+    acc = k.mov(0)
+    with k.if_(k.lt(gtid, n)):
+        k.ld(k.iadd(src, gtid), dst=acc)
+    for kind, arg in phases:
+        if kind == "ops":
+            emit(k, acc, arg)
+        elif kind == "shared":
+            k.sts(tid, acc)
+            k.bar()
+            other = k.lds(k.imod(k.iadd(tid, arg), _BLOCK))
+            k.iadd(acc, other, dst=acc)
+            k.bar()
+        elif kind == "global":
+            addr = k.iadd(scratch, k.iadd(k.imul(gtid, 4), k.iand(acc, 3)))
+            k.st(addr, k.ixor(acc, arg))
+            k.iadd(acc, k.ld(addr), dst=acc)
+        else:  # atomic
+            k.atom_add(counter, k.iadd(k.iand(acc, 7), 1))
+            k.ixor(acc, arg, dst=acc)
+    with k.if_(k.lt(gtid, n)):
+        k.st(k.iadd(dst, gtid), acc)
+    k.exit()
+    return KernelFunction("mem_fuzz", k.build(), shared_words=_BLOCK)
+
+
+def evaluate_mem_fuzz(data, phases, blocks):
+    """The same program over all ``blocks * _BLOCK`` threads in Python."""
+    total = blocks * _BLOCK
+    acc = [int(data[g]) if g < len(data) else 0 for g in range(total)]
+    scratch = np.zeros(total * 4, dtype=np.int64)
+    counter = 0
+    for kind, arg in phases:
+        if kind == "ops":
+            acc = [evaluate(a, arg) for a in acc]
+        elif kind == "shared":
+            for b in range(blocks):
+                base = b * _BLOCK
+                smem = acc[base:base + _BLOCK]
+                for t in range(_BLOCK):
+                    acc[base + t] = _wrap64(acc[base + t] + smem[(t + arg) % _BLOCK])
+        elif kind == "global":
+            for g in range(total):
+                value = acc[g] ^ arg
+                scratch[g * 4 + (acc[g] & 3)] = value
+                acc[g] = _wrap64(acc[g] + value)
+        else:  # atomic
+            for g in range(total):
+                counter += (acc[g] & 7) + 1
+                acc[g] ^= arg
+    out = np.array([acc[g] for g in range(len(data))], dtype=np.int64)
+    return out, scratch, counter
+
+
+class TestMemoryOpFuzz:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        phases=_phases(),
+        data=st.lists(st.integers(-30, 30), min_size=1, max_size=2 * _BLOCK),
+    )
+    def test_both_cores_match_evaluator(self, phases, data):
+        func = build_mem_fuzz(phases)
+        blocks = (len(data) + _BLOCK - 1) // _BLOCK
+        results = []
+        for fast in (True, False):
+            config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+            dev = Device(config=config, mode=ExecutionMode.FLAT, sanitize=True)
+            dev.register(func)
+            n = len(data)
+            src = dev.upload(np.asarray(data, dtype=np.int64))
+            dst = dev.alloc(n)
+            scratch = dev.alloc(blocks * _BLOCK * 4)
+            counter = dev.alloc(1)
+            dev.write_int(counter.addr, 0)
+            dev.launch("mem_fuzz", grid=blocks, block=_BLOCK,
+                       params=[n, src, dst, scratch, counter])
+            dev.synchronize()
+            assert dev.sanitizer_report().clean, dev.sanitizer_report().format()
+            results.append(
+                (dst.download(), scratch.download(), dev.read_int(counter.addr))
+            )
+
+        out, scr, cnt = evaluate_mem_fuzz(data, phases, blocks)
+        for got_out, got_scr, got_cnt in results:
+            np.testing.assert_array_equal(got_out, out)
+            np.testing.assert_array_equal(got_scr, scr)
+            assert got_cnt == cnt
