@@ -13,7 +13,9 @@ Both classes are frozen dataclasses; derive variants with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, replace
 
 from .errors import ConfigError
 
@@ -254,6 +256,44 @@ class GPUConfig:
             raise ConfigError("warp_scheduler must be 'gto' or 'rr'")
         if self.l2_line != SEGMENT_BYTES:
             raise ConfigError("l2_line must equal the coalescing segment size")
+
+    # ------------------------------------------------------------------
+    # Serialization / identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """All fields as a JSON-safe dictionary (exact round trip)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GPUConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ConfigError` (a stale cache entry from
+        a different code version must not be silently reinterpreted);
+        missing keys take the current defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown GPUConfig fields: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash of this configuration.
+
+        A pure function of the field values: stable across processes,
+        interpreter restarts and machines, and sensitive to every field
+        (each one can change simulation output or reported metrics).
+        Used as the configuration component of experiment cache keys —
+        see :mod:`repro.exec.fingerprint`.
+        """
+        doc = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        )
+        return hashlib.sha256(f"GPUConfig:{doc}".encode("utf-8")).hexdigest()
 
     @property
     def max_resident_warps(self) -> int:

@@ -1,0 +1,42 @@
+"""repro.exec: the experiment-execution subsystem.
+
+Three layers, composed by the harness (:mod:`repro.harness.runner`):
+
+* :mod:`repro.exec.fingerprint` — deterministic content hashing of a
+  simulation job (:class:`SweepJob`), so identical jobs are identical
+  keys across processes and runs;
+* :mod:`repro.exec.cache` — a content-addressed on-disk result store
+  (:class:`ResultCache`) with atomic writes and corrupt-entry
+  quarantine;
+* :mod:`repro.exec.pool` — a multi-process sweep engine
+  (:class:`SweepEngine`) with per-job timeout, bounded retry and
+  in-process fallback.
+
+``fingerprint -> cache -> pool``: a requested job is fingerprinted, the
+cache is consulted, and only misses are simulated — in parallel.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from .fingerprint import CODE_VERSION, SweepJob, canonical_json, digest
+from .pool import (
+    EngineStats,
+    ProgressEvent,
+    SweepEngine,
+    SweepError,
+    execute_job,
+)
+
+__all__ = [
+    "CODE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "EngineStats",
+    "ProgressEvent",
+    "ResultCache",
+    "SweepEngine",
+    "SweepError",
+    "SweepJob",
+    "canonical_json",
+    "digest",
+    "execute_job",
+]

@@ -1,0 +1,211 @@
+"""Content-addressed on-disk store for simulation results.
+
+Entries are JSON blobs under a cache root (default ``.repro-cache/``),
+addressed by :meth:`repro.exec.fingerprint.SweepJob.fingerprint` and
+fanned out over 256 two-hex-digit subdirectories.  The store is safe for
+concurrent writers and robust to corruption:
+
+* **atomic writes** — every store writes a unique temporary file in the
+  entry's directory and ``os.replace``-s it into place, so readers never
+  observe a half-written entry and concurrent writers of the same key
+  cannot clobber each other (last complete write wins; both wrote the
+  same content anyway, by content-addressing);
+* **corrupt-entry quarantine** — an entry that fails to parse or fails
+  validation is moved aside to ``<entry>.corrupt`` and reported as a
+  miss, never an exception: a truncated write (power loss, full disk)
+  costs one re-simulation, not a broken sweep;
+* **format versioning** — entries self-describe with
+  :data:`ENTRY_FORMAT`; entries written by an incompatible cache layout
+  are invalidated (removed and recounted), not misread.
+
+:class:`CacheStats` counts hits / misses / stores / quarantines /
+invalidations for reporting (``python -m repro.harness`` prints them
+after a cached sweep).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: On-disk entry format version.  Bump when the entry layout changes;
+#: old entries are invalidated on read.
+ENTRY_FORMAT = 1
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_KEY_CHARS = set("0123456789abcdef")
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries that failed to parse and were moved to ``*.corrupt``.
+    quarantined: int = 0
+    #: Entries removed because their payload could not be used (wrong
+    #: format version, undecodable stats) — see :meth:`ResultCache.invalidate`.
+    invalidated: int = 0
+
+    def format(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} stores={self.stores} "
+            f"quarantined={self.quarantined} invalidated={self.invalidated}"
+        )
+
+
+class CorruptEntry(Exception):
+    """Internal: an on-disk entry is unreadable or fails validation."""
+
+
+def _check_key(key: str) -> str:
+    if len(key) < 8 or not set(key) <= _KEY_CHARS:
+        raise ValueError(f"not a fingerprint key: {key!r}")
+    return key
+
+
+class ResultCache:
+    """Content-addressed JSON blob store (see the module docstring)."""
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        _check_key(key)
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists on disk (no stats, no validation)."""
+        return self.path_for(key).exists()
+
+    def load(self, key: str) -> Optional[dict]:
+        """The entry's payload dictionary, or ``None`` on a miss.
+
+        Corrupt entries are quarantined and count as misses; entries with
+        a different format version are invalidated and count as misses.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        try:
+            entry = self._decode(raw, key)
+        except CorruptEntry:
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        if entry["format"] != ENTRY_FORMAT:
+            self.invalidate(key)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    @staticmethod
+    def _decode(raw: str, key: str) -> dict:
+        try:
+            entry = json.loads(raw)
+        except ValueError as exc:
+            raise CorruptEntry(str(exc)) from exc
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("format"), int)
+            or entry.get("key") != key
+            or not isinstance(entry.get("payload"), dict)
+        ):
+            raise CorruptEntry("entry structure invalid")
+        return entry
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``.
+
+        The temporary file lives in the final directory so ``os.replace``
+        is a same-filesystem atomic rename on every platform.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"format": ENTRY_FORMAT, "key": key, "payload": payload}
+        encoded = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:12]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def invalidate(self, key: str) -> None:
+        """Drop an entry whose payload turned out to be unusable.
+
+        Called by the read path on format mismatches and by consumers
+        that fail to decode a structurally valid payload (e.g. a
+        ``GPUConfig`` written by a different code version).
+        """
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+        self.stats.invalidated += 1
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is inspectable but inert."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
+        self.stats.quarantined += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Number of well-named entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Remove every entry (and quarantined sibling); returns count."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in list(self.root.glob("??/*.json")) + list(
+            self.root.glob("??/*.json.corrupt")
+        ):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

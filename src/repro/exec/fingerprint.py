@@ -1,0 +1,115 @@
+"""Deterministic content fingerprints for simulation jobs.
+
+A *sweep job* is everything that determines a simulation's outcome: the
+GPU configuration, the execution mode, the benchmark, the dataset scale,
+the launch-latency scale, whether the run is sanitized, and a code-version
+salt.  :meth:`SweepJob.fingerprint` hashes a canonical JSON document of
+all of it, so identical jobs have identical keys across processes,
+interpreter restarts and machines — the property the on-disk result cache
+(:mod:`repro.exec.cache`) and the multi-process sweep engine
+(:mod:`repro.exec.pool`) are built on.
+
+The code-version salt (:data:`CODE_VERSION`) folds the package version
+into every key: bumping the version orphans all previously cached results
+rather than risking a stale entry produced by different simulator code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import __version__
+from ..config import GPUConfig
+from ..runtime import ExecutionMode
+
+#: Salt folded into every job fingerprint.  Bump the trailing tag when a
+#: change invalidates cached results without changing the package version
+#: (e.g. a simulator bug fix on a maintenance branch).
+CODE_VERSION = f"repro-{__version__}:fp1"
+
+
+def canonical_json(obj) -> str:
+    """The one canonical JSON encoding used for hashing.
+
+    Sorted keys, no whitespace, NaN/Infinity rejected: two semantically
+    equal documents always serialize to the same bytes.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def digest(prefix: str, document) -> str:
+    """SHA-256 of ``prefix`` + the canonical encoding of ``document``."""
+    payload = f"{CODE_VERSION}\n{prefix}\n{canonical_json(document)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def effective_sanitize(config: GPUConfig) -> bool:
+    """Whether a run under ``config`` would be sanitized *right now*.
+
+    The sanitizer is switchable per config and globally via the
+    ``REPRO_SANITIZE`` environment variable; both reach the GPU, so both
+    must reach the fingerprint (a sanitized and an unsanitized run verify
+    different things even though their statistics agree).
+    """
+    return bool(config.sanitize) or bool(os.environ.get("REPRO_SANITIZE"))
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One fully specified simulation: the unit of sweeping and caching."""
+
+    benchmark: str
+    mode: ExecutionMode
+    scale: float
+    latency_scale: float
+    config: GPUConfig = field(default_factory=GPUConfig.k20c)
+    verify: bool = True
+
+    def document(self) -> dict:
+        """The canonical JSON-safe description this job hashes to."""
+        return {
+            "benchmark": self.benchmark,
+            "mode": self.mode.value,
+            "scale": self.scale,
+            "latency_scale": self.latency_scale,
+            "config": self.config.to_dict(),
+            "verify": self.verify,
+            "sanitize": effective_sanitize(self.config),
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this job (includes the code salt)."""
+        return digest("SweepJob", self.document())
+
+    def label(self) -> str:
+        """Short human-readable tag for progress output."""
+        return f"{self.benchmark}/{self.mode.value}"
+
+    @classmethod
+    def create(
+        cls,
+        benchmark: str,
+        mode: ExecutionMode,
+        scale: float,
+        latency_scale: float,
+        config: Optional[GPUConfig] = None,
+        verify: bool = True,
+    ) -> "SweepJob":
+        """Build a job, canonicalizing ``config=None`` to the default.
+
+        ``config=None`` and ``config=GPUConfig.k20c()`` describe the same
+        simulation; canonicalizing here keeps them one cache key (the old
+        in-memory memo treated them as distinct and re-simulated).
+        """
+        return cls(
+            benchmark=benchmark,
+            mode=mode,
+            scale=float(scale),
+            latency_scale=float(latency_scale),
+            config=config if config is not None else GPUConfig.k20c(),
+            verify=verify,
+        )

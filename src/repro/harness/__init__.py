@@ -2,7 +2,7 @@
 and figure of the paper's evaluation (Section 5).
 """
 
-from .runner import BenchmarkRun, run_benchmark, run_grid, GridResults
+from .runner import BenchmarkRun, run_benchmark, run_grid, run_jobs, GridResults
 from .experiments import (
     figure6_warp_activity,
     figure7_dram_efficiency,
@@ -30,6 +30,7 @@ __all__ = [
     "format_table",
     "run_benchmark",
     "run_grid",
+    "run_jobs",
     "table2_configuration",
     "table3_latency",
     "table4_benchmarks",

@@ -3,9 +3,14 @@
 Usage::
 
     python -m repro.harness                      # everything (minutes)
+    python -m repro.harness --jobs 4             # 4 worker processes
     python -m repro.harness --benchmarks bfs_citation amr
     python -m repro.harness --scale 0.25         # quick, scaled-down pass
     python -m repro.harness --figure 11          # a single figure
+    python -m repro.harness --no-cache           # ignore .repro-cache/
+
+Results persist in a content-addressed on-disk cache (``--cache-dir``,
+default ``.repro-cache/``): a warm rerun of any figure simulates nothing.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from .experiments import (
     table3_latency,
     table4_benchmarks,
 )
+from ..exec import DEFAULT_CACHE_DIR, ResultCache
 from .runner import DEFAULT_LATENCY_SCALE, run_grid
 
 _GRID_FIGURES = {
@@ -65,8 +71,23 @@ def main(argv=None) -> int:
                         help="run every simulation with the execution "
                              "sanitizer (race/OOB/uninit/barrier/launch "
                              "checks); any finding fails the run")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulation sweep "
+                             "(default 1: in-process)")
+    parser.add_argument("--cache", dest="cache", action="store_true",
+                        default=True,
+                        help="persist results in the on-disk cache (default)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="bypass the on-disk cache entirely "
+                             "(no reads, no writes)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"cache directory (default {DEFAULT_CACHE_DIR})")
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    cache = ResultCache(args.cache_dir) if args.cache else None
 
     if args.sanitize:
         # The env switch reaches every GPU the workloads construct,
@@ -84,6 +105,8 @@ def main(argv=None) -> int:
             verbose=verbose,
             agt_benchmarks=args.benchmarks
             or ["bht", "regx_string", "amr", "bfs_citation"],
+            jobs=args.jobs,
+            cache=cache,
         )
         for experiment in experiments:
             print()
@@ -98,6 +121,8 @@ def main(argv=None) -> int:
                 scale=args.scale,
                 latency_scale=args.latency_scale,
                 verbose=verbose,
+                jobs=args.jobs,
+                cache=cache,
             ).render()
         )
     elif args.figure in _GRID_FIGURES:
@@ -106,6 +131,8 @@ def main(argv=None) -> int:
             scale=args.scale,
             latency_scale=args.latency_scale,
             verbose=verbose,
+            jobs=args.jobs,
+            cache=cache,
         )
         print(_GRID_FIGURES[args.figure](grid).render())
     else:
@@ -113,7 +140,9 @@ def main(argv=None) -> int:
     if args.sanitize:
         print("sanitizer: clean (no findings across all simulations)")
     if verbose:
-        print(f"\n[{time.time() - start:.1f}s]")
+        if cache is not None:
+            print(f"\n[cache] {cache.stats.format()} ({args.cache_dir})")
+        print(f"[{time.time() - start:.1f}s]")
     return 0
 
 

@@ -13,14 +13,15 @@ from typing import Dict, List, Optional, Sequence
 
 from ..config import GPUConfig, LatencyModel
 from ..dtbl.overhead import overhead_report
+from ..exec import ResultCache, SweepJob
 from ..runtime import ExecutionMode
 from ..workloads import benchmark_names, get_benchmark
 from .reporting import format_table, geomean, mean
 from .runner import (
     DEFAULT_LATENCY_SCALE,
     GridResults,
-    run_benchmark,
     run_grid,
+    run_jobs,
 )
 
 FLAT = ExecutionMode.FLAT
@@ -291,25 +292,38 @@ def figure12_agt_sensitivity(
     scale: float = 1.0,
     latency_scale: float = DEFAULT_LATENCY_SCALE,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Experiment:
     """Fig. 12: DTBL performance sensitivity to the AGT size.
 
     Runs the DTBL mode under each AGT size and normalizes each
     benchmark's performance (1/cycles) to the 1024-entry baseline.
+    The (benchmark x AGT size) sub-grid goes through the same
+    fingerprint -> cache -> pool path as the main grid.
     """
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
+    specs = [
+        SweepJob.create(
+            name, DTBL, scale, latency_scale,
+            config=GPUConfig.k20c().with_agt_entries(size),
+        )
+        for name in names
+        for size in sizes
+    ]
+    runs = run_jobs(specs, jobs=jobs, cache=cache)
+    cycles_by_name: Dict[str, Dict[int, int]] = {name: {} for name in names}
+    for spec, run in zip(specs, runs):
+        cycles_by_name[spec.benchmark][spec.config.agt_entries] = run.cycles
+        if verbose:
+            print(
+                f"  {spec.benchmark} AGT={spec.config.agt_entries}: "
+                f"{run.cycles:,} cycles"
+            )
     rows = []
     norm: Dict[int, List[float]] = {size: [] for size in sizes}
     for name in names:
-        cycles: Dict[int, int] = {}
-        for size in sizes:
-            config = GPUConfig.k20c().with_agt_entries(size)
-            run = run_benchmark(
-                name, DTBL, scale=scale, latency_scale=latency_scale, config=config
-            )
-            cycles[size] = run.cycles
-            if verbose:
-                print(f"  {name} AGT={size}: {run.cycles:,} cycles")
+        cycles = cycles_by_name[name]
         base = cycles.get(1024) or cycles[sizes[len(sizes) // 2]]
         row = [name]
         for size in sizes:
@@ -363,10 +377,17 @@ def run_all_figures(
     benchmarks: Optional[Sequence[str]] = None,
     verbose: bool = False,
     agt_benchmarks: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Experiment]:
-    """Regenerate every table and figure; returns them in paper order."""
+    """Regenerate every table and figure; returns them in paper order.
+
+    ``jobs`` parallelizes the underlying sweeps across worker processes;
+    ``cache`` persists every simulation result on disk.
+    """
     grid = run_grid(
-        benchmarks=benchmarks, scale=scale, latency_scale=latency_scale, verbose=verbose
+        benchmarks=benchmarks, scale=scale, latency_scale=latency_scale,
+        verbose=verbose, jobs=jobs, cache=cache,
     )
     experiments = [
         table2_configuration(),
@@ -380,7 +401,7 @@ def run_all_figures(
         figure11_speedup(grid),
         figure12_agt_sensitivity(
             benchmarks=agt_benchmarks, scale=scale, latency_scale=latency_scale,
-            verbose=verbose,
+            verbose=verbose, jobs=jobs, cache=cache,
         ),
         overhead_analysis(),
     ]

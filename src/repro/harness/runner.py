@@ -1,20 +1,39 @@
-"""Benchmark grid runner with per-process memoization.
+"""Benchmark grid runner on top of the :mod:`repro.exec` subsystem.
 
 Full-grid experiments (Figs. 6-11) all consume the same (benchmark, mode)
-simulations, so :func:`run_grid` caches results per process: regenerating
-every figure costs one pass over the grid.
+simulations.  Every requested simulation is reduced to a
+:class:`~repro.exec.fingerprint.SweepJob` and its content fingerprint,
+then resolved through three layers:
+
+1. an **in-process memo** (`_CACHE`) keyed by the fingerprint — the old
+   per-process behaviour, now collision-free: the key covers the full GPU
+   configuration, dataset scale, latency scale, verification and
+   sanitizer state (``config=None`` and an explicit default config are
+   one key, and two grids differing only in latency scale never alias);
+2. an optional **on-disk result cache**
+   (:class:`~repro.exec.cache.ResultCache`) — warm reruns of a grid cost
+   zero simulations, across processes and machines;
+3. the **sweep engine** (:class:`~repro.exec.pool.SweepEngine`) — cache
+   misses fan out over ``jobs`` worker processes, falling back to
+   in-process execution when ``jobs=1`` or the pool cannot run.
+
+All three paths produce bit-identical :class:`~repro.sim.stats.SimStats`
+(`tests/exec/test_pool.py` and `tests/harness/test_runner.py` assert it).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import GPUConfig
+from ..errors import ReproError
+from ..exec import ResultCache, SweepEngine, SweepJob, execute_job
+from ..exec.pool import ProgressEvent
 from ..runtime import ExecutionMode
+from ..sim.sanitizer import SanitizerReport
 from ..sim.stats import SimStats
-from ..workloads import benchmark_names, get_benchmark
+from ..workloads import benchmark_names
 
 #: Launch-latency scale used for the evaluation grid (see DESIGN.md:
 #: datasets are scaled down ~3 orders of magnitude from the paper's, so
@@ -44,6 +63,9 @@ class BenchmarkRun:
     mode: ExecutionMode
     stats: SimStats
     wall_seconds: float
+    #: Sanitizer report when the run was sanitized (always clean —
+    #: findings raise before a result exists); ``None`` otherwise.
+    sanitizer: Optional[SanitizerReport] = None
 
     @property
     def cycles(self) -> int:
@@ -75,7 +97,134 @@ class GridResults:
         return flat / other if other else 0.0
 
 
-_CACHE: Dict[tuple, BenchmarkRun] = {}
+_CACHE: Dict[str, BenchmarkRun] = {}
+
+
+def _run_from_payload(job: SweepJob, payload: dict) -> BenchmarkRun:
+    """Decode an execution/cache payload into a :class:`BenchmarkRun`."""
+    sanitizer = payload.get("sanitizer")
+    return BenchmarkRun(
+        benchmark=job.benchmark,
+        mode=job.mode,
+        stats=SimStats.from_dict(payload["stats"]),
+        wall_seconds=float(payload["wall_seconds"]),
+        sanitizer=SanitizerReport.from_dict(sanitizer) if sanitizer else None,
+    )
+
+
+def _payload_from_run(run: BenchmarkRun) -> dict:
+    """Re-encode a memoized run for disk write-through."""
+    return {
+        "stats": run.stats.to_dict(),
+        "wall_seconds": run.wall_seconds,
+        "sanitizer": run.sanitizer.to_dict() if run.sanitizer else None,
+    }
+
+
+def _print_run(job: SweepJob, run: BenchmarkRun, note: str = "") -> None:
+    suffix = f"  [{note}]" if note else ""
+    print(
+        f"  {job.benchmark:14s} {job.mode.value:6s} cycles={run.cycles:>10,} "
+        f"({run.wall_seconds:.1f}s){suffix}"
+    )
+
+
+def run_jobs(
+    specs: Sequence[SweepJob],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    use_memo: bool = True,
+    verbose: bool = False,
+    engine: Optional[SweepEngine] = None,
+) -> List[BenchmarkRun]:
+    """Resolve each job through memo -> disk cache -> (pool | in-process).
+
+    Returns one :class:`BenchmarkRun` per spec, in input order.  Within
+    one call, duplicate fingerprints are simulated once.  ``engine``
+    overrides the default :class:`SweepEngine` (tests inject fault
+    configurations through it); it is only consulted when ``jobs > 1``.
+    """
+    runs: Dict[int, BenchmarkRun] = {}
+    keys = [job.fingerprint() for job in specs]
+    todo: List[int] = []
+    seen: Dict[str, int] = {}
+    for i, (job, key) in enumerate(zip(specs, keys)):
+        if use_memo and key in _CACHE:
+            runs[i] = _CACHE[key]
+            # Write through: the disk cache must end up covering every
+            # requested job, so a warm rerun in a *fresh* process (no
+            # memo) still simulates nothing.
+            if cache is not None and not cache.contains(key):
+                cache.store(key, _payload_from_run(runs[i]))
+            if verbose:
+                _print_run(job, runs[i], "memo")
+            continue
+        if cache is not None:
+            payload = cache.load(key)
+            if payload is not None:
+                try:
+                    run = _run_from_payload(job, payload)
+                except (ReproError, KeyError, ValueError, TypeError):
+                    # Structurally valid JSON whose payload cannot be
+                    # decoded by this code version: drop it and re-run.
+                    cache.invalidate(key)
+                else:
+                    runs[i] = run
+                    if use_memo:
+                        _CACHE[key] = run
+                    if verbose:
+                        _print_run(job, run, "cached")
+                    continue
+        if key in seen:
+            continue  # duplicate of an earlier miss; filled in below
+        seen[key] = i
+        todo.append(i)
+
+    if todo:
+        todo_jobs = [specs[i] for i in todo]
+        if jobs > 1:
+            engine = engine or SweepEngine(max_workers=jobs)
+
+            def on_event(event: ProgressEvent) -> None:
+                if not verbose:
+                    return
+                if event.kind == "done":
+                    note = "" if event.source == "worker" else event.source
+                    if event.attempts > 1:
+                        note = (note + f" attempt {event.attempts}").strip()
+                    _print_run(
+                        event.job, _run_from_payload(event.job, event.payload),
+                        note,
+                    )
+                elif event.kind == "retry":
+                    print(f"  {event.job.label()}: worker failed, retrying "
+                          f"(attempt {event.attempts})")
+                elif event.kind == "fallback":
+                    print(f"  {event.job.label()}: retries exhausted, "
+                          f"running in-process")
+
+            payloads = engine.run(todo_jobs, progress=on_event)
+        else:
+            payloads = []
+            for job in todo_jobs:
+                payload = execute_job(job)
+                payloads.append(payload)
+                if verbose:
+                    _print_run(job, _run_from_payload(job, payload))
+        for i, payload in zip(todo, payloads):
+            job, key = specs[i], keys[i]
+            run = _run_from_payload(job, payload)
+            if cache is not None:
+                cache.store(key, payload)
+            if use_memo:
+                _CACHE[key] = run
+            runs[i] = run
+
+    # Fill duplicates of simulated keys.
+    for i, key in enumerate(keys):
+        if i not in runs:
+            runs[i] = runs[seen[key]]
+    return [runs[i] for i in range(len(specs))]
 
 
 def run_benchmark(
@@ -86,25 +235,18 @@ def run_benchmark(
     config: Optional[GPUConfig] = None,
     verify: bool = True,
     use_cache: bool = True,
+    cache: Optional[ResultCache] = None,
 ) -> BenchmarkRun:
-    """Simulate one (benchmark, mode) pair; memoized per process."""
-    key = (name, mode, scale, latency_scale, config, verify)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    workload = get_benchmark(name, mode, scale)
-    start = time.perf_counter()
-    result = workload.execute(
-        config=config, latency_scale=latency_scale, verify=verify
+    """Simulate one (benchmark, mode) pair.
+
+    ``use_cache`` controls the in-process memo; ``cache`` attaches the
+    on-disk result store (both reads and writes — ``cache=None`` bypasses
+    the disk entirely).
+    """
+    job = SweepJob.create(
+        name, mode, scale, latency_scale, config=config, verify=verify
     )
-    run = BenchmarkRun(
-        benchmark=name,
-        mode=mode,
-        stats=result.stats,
-        wall_seconds=time.perf_counter() - start,
-    )
-    if use_cache:
-        _CACHE[key] = run
-    return run
+    return run_jobs([job], cache=cache, use_memo=use_cache)[0]
 
 
 def run_grid(
@@ -115,22 +257,28 @@ def run_grid(
     config: Optional[GPUConfig] = None,
     verify: bool = True,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> GridResults:
-    """Simulate the full (benchmark x mode) grid."""
-    grid = GridResults()
+    """Simulate the full (benchmark x mode) grid.
+
+    ``jobs > 1`` fans cache misses out over that many worker processes;
+    ``cache`` persists results on disk so a warm rerun simulates nothing.
+    """
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
-    for name in names:
-        for mode in modes:
-            run = run_benchmark(
-                name, mode, scale=scale, latency_scale=latency_scale,
-                config=config, verify=verify,
-            )
-            grid.add(run)
-            if verbose:
-                print(
-                    f"  {name:14s} {mode.value:6s} cycles={run.cycles:>10,} "
-                    f"({run.wall_seconds:.1f}s)"
-                )
+    specs = [
+        SweepJob.create(
+            name, mode, scale, latency_scale, config=config, verify=verify
+        )
+        for name in names
+        for mode in modes
+    ]
+    grid = GridResults()
+    for run in run_jobs(
+        specs, jobs=jobs, cache=cache, verbose=verbose, engine=engine
+    ):
+        grid.add(run)
     return grid
 
 

@@ -47,6 +47,30 @@ class CoalescingStats:
             return 0.0
         return self.transactions / self.warp_accesses
 
+    def to_dict(self) -> dict:
+        """All counters as a JSON-safe dictionary (exact round trip)."""
+        return {
+            "warp_accesses": self.warp_accesses,
+            "transactions": self.transactions,
+            "lanes": self.lanes,
+            "histogram": [int(n) for n in self.histogram],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoalescingStats":
+        histogram = np.asarray(data["histogram"], dtype=np.int64)
+        if histogram.shape != (WARP_SIZE + 1,):
+            raise ValueError(
+                f"coalescing histogram must have {WARP_SIZE + 1} bins, "
+                f"got {histogram.shape}"
+            )
+        return cls(
+            warp_accesses=int(data["warp_accesses"]),
+            transactions=int(data["transactions"]),
+            lanes=int(data["lanes"]),
+            histogram=histogram,
+        )
+
 
 def coalesce_address_list(addresses) -> list:
     """Fast-core variant of :func:`coalesce_addresses` for plain int lists.

@@ -51,6 +51,26 @@ class DramStats:
         total = self.row_hits + self.row_misses
         return self.row_hits / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """All counters as a JSON-safe dictionary (exact round trip)."""
+        return {
+            "n_read": self.n_read,
+            "n_write": self.n_write,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "n_activity": self.n_activity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DramStats":
+        return cls(
+            n_read=int(data["n_read"]),
+            n_write=int(data["n_write"]),
+            row_hits=int(data["row_hits"]),
+            row_misses=int(data["row_misses"]),
+            n_activity=int(data["n_activity"]),
+        )
+
 
 class DramController:
     """Banked open-row DRAM with analytic (event-based) service timing."""

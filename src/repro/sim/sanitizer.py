@@ -136,6 +136,32 @@ class SanitizerFinding:
             f"{addr}{lanes}: {self.detail}"
         )
 
+    def to_dict(self) -> dict:
+        """All fields as a JSON-safe dictionary (exact round trip)."""
+        return {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "smx": self.smx,
+            "kernel": self.kernel,
+            "pc": self.pc,
+            "address": self.address,
+            "lanes": list(self.lanes),
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SanitizerFinding":
+        return cls(
+            kind=data["kind"],
+            cycle=data["cycle"],
+            smx=data["smx"],
+            kernel=data["kernel"],
+            pc=data["pc"],
+            address=data["address"],
+            lanes=tuple(data["lanes"]),
+            detail=data["detail"],
+        )
+
 
 class SanitizerReport:
     """Accumulated sanitizer findings.
@@ -174,6 +200,24 @@ class SanitizerReport:
 
     def __iter__(self):
         return iter(self.findings)
+
+    def to_dict(self) -> dict:
+        """Counts and deduplicated findings, JSON-safe (exact round trip)."""
+        return {
+            "max_records": self.max_records,
+            "counts": dict(self.counts),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SanitizerReport":
+        report = cls(max_records=data["max_records"])
+        report.counts = {kind: int(n) for kind, n in data["counts"].items()}
+        report.findings = [
+            SanitizerFinding.from_dict(finding) for finding in data["findings"]
+        ]
+        report._sites = {(f.kind, f.kernel, f.pc) for f in report.findings}
+        return report
 
     def format(self) -> str:
         """Human-readable multi-line summary."""

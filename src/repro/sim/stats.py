@@ -60,6 +60,36 @@ class LaunchRecord:
     def pending_bytes(self) -> int:
         return self.param_bytes + self.record_bytes
 
+    def to_dict(self) -> dict:
+        """All fields as a JSON-safe dictionary (exact round trip)."""
+        return {
+            "kind": self.kind.value,
+            "kernel_name": self.kernel_name,
+            "launch_cycle": self.launch_cycle,
+            "total_blocks": self.total_blocks,
+            "total_threads": self.total_threads,
+            "param_bytes": self.param_bytes,
+            "record_bytes": self.record_bytes,
+            "first_exec_cycle": self.first_exec_cycle,
+            "fully_distributed_cycle": self.fully_distributed_cycle,
+            "completed_cycle": self.completed_cycle,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LaunchRecord":
+        return cls(
+            kind=LaunchKind(data["kind"]),
+            kernel_name=data["kernel_name"],
+            launch_cycle=data["launch_cycle"],
+            total_blocks=data["total_blocks"],
+            total_threads=data["total_threads"],
+            param_bytes=data["param_bytes"],
+            record_bytes=data["record_bytes"],
+            first_exec_cycle=data["first_exec_cycle"],
+            fully_distributed_cycle=data["fully_distributed_cycle"],
+            completed_cycle=data["completed_cycle"],
+        )
+
 
 class SimStats:
     """Mutable counters for one simulation run."""
@@ -195,6 +225,55 @@ class SimStats:
             waits = entry.pop("waits")
             entry["avg_wait"] = sum(waits) / len(waits) if waits else 0.0
         return rollup
+
+    # ------------------------------------------------------------------
+    # Serialization (exact round trip; repro.exec's on-disk cache and the
+    # multi-process sweep engine move SimStats across process boundaries)
+    # ------------------------------------------------------------------
+
+    #: Plain integer counters copied verbatim by to_dict/from_dict.
+    _COUNTER_FIELDS = (
+        "cycles",
+        "issued_instructions",
+        "active_lane_sum",
+        "resident_warp_cycles",
+        "footprint_bytes",
+        "peak_footprint_bytes",
+        "agg_matched",
+        "agg_unmatched",
+        "agt_hash_hits",
+        "agt_hash_spills",
+        "branches_uniform",
+        "branches_diverged",
+        "blocks_completed",
+        "kernels_completed",
+    )
+
+    def to_dict(self) -> dict:
+        """Every counter, nested stat and launch record, JSON-safe.
+
+        ``SimStats.from_dict(stats.to_dict())`` reproduces the object
+        bit-exactly — including after a ``json.dumps``/``loads`` round
+        trip, which is what the on-disk result cache relies on.
+        """
+        data = {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+        data["config"] = self.config.to_dict()
+        data["coalescing"] = self.coalescing.to_dict()
+        data["dram"] = self.dram.to_dict()
+        data["launches"] = [record.to_dict() for record in self.launches]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        stats = cls(GPUConfig.from_dict(data["config"]))
+        for name in cls._COUNTER_FIELDS:
+            setattr(stats, name, int(data[name]))
+        stats.coalescing = CoalescingStats.from_dict(data["coalescing"])
+        stats.dram = DramStats.from_dict(data["dram"])
+        stats.launches = [
+            LaunchRecord.from_dict(record) for record in data["launches"]
+        ]
+        return stats
 
     def summary(self) -> dict:
         """Flat dictionary of the headline metrics, for harness reports."""

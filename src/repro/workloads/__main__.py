@@ -4,7 +4,12 @@ Usage::
 
     python -m repro.workloads bfs_citation --mode dtbl
     python -m repro.workloads join_gaussian --mode flat cdp dtbl --scale 0.5
+    python -m repro.workloads bht --jobs 3          # one worker per mode
     python -m repro.workloads --list
+
+Like the harness, runs go through :mod:`repro.exec`: the requested modes
+execute in parallel under ``--jobs`` and results persist in the on-disk
+cache (``--cache-dir``, default ``.repro-cache/``) unless ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -12,8 +17,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepEngine, SweepJob, execute_job
 from ..runtime import ExecutionMode
-from .registry import benchmark_names, get_benchmark
+from ..sim.stats import SimStats
+from .registry import benchmark_names
 
 
 def main(argv=None) -> int:
@@ -29,6 +36,15 @@ def main(argv=None) -> int:
                         help="Table 3 launch-latency scale")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the reference-result check")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1: in-process)")
+    parser.add_argument("--cache", dest="cache", action="store_true",
+                        default=True,
+                        help="persist results in the on-disk cache (default)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="bypass the on-disk cache (no reads, no writes)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"cache directory (default {DEFAULT_CACHE_DIR})")
     parser.add_argument("--list", action="store_true", help="list benchmarks")
     args = parser.parse_args(argv)
 
@@ -36,18 +52,47 @@ def main(argv=None) -> int:
         for name in benchmark_names():
             print(name)
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    jobs = [
+        SweepJob.create(
+            args.benchmark,
+            ExecutionMode.from_name(mode_name),
+            args.scale,
+            args.latency_scale,
+            verify=not args.no_verify,
+        )
+        for mode_name in args.mode
+    ]
+
+    payloads = {}
+    missing = []
+    for job in jobs:
+        key = job.fingerprint()
+        payload = cache.load(key) if cache is not None else None
+        if payload is None:
+            missing.append(job)
+        else:
+            payloads[key] = payload
+    if missing:
+        if args.jobs > 1 and len(missing) > 1:
+            fresh = SweepEngine(max_workers=args.jobs).run(missing)
+        else:
+            fresh = [execute_job(job) for job in missing]
+        for job, payload in zip(missing, fresh):
+            key = job.fingerprint()
+            payloads[key] = payload
+            if cache is not None:
+                cache.store(key, payload)
 
     baseline = None
-    for mode_name in args.mode:
-        mode = ExecutionMode.from_name(mode_name)
-        workload = get_benchmark(args.benchmark, mode, args.scale)
-        result = workload.execute(
-            latency_scale=args.latency_scale, verify=not args.no_verify
-        )
-        stats = result.stats
+    for job in jobs:
+        stats = SimStats.from_dict(payloads[job.fingerprint()]["stats"])
         if baseline is None:
             baseline = stats.cycles
-        print(f"== {args.benchmark} [{mode.value}]")
+        print(f"== {args.benchmark} [{job.mode.value}]")
         print(f"   cycles            {stats.cycles:,}")
         print(f"   speedup vs first  {baseline / stats.cycles:.2f}x")
         for key, value in stats.summary().items():

@@ -26,6 +26,7 @@ from ..config import GPUConfig
 from ..errors import WorkloadError
 from ..runtime import Device, ExecutionMode
 from ..sim.kernel import KernelFunction
+from ..sim.sanitizer import SanitizerReport
 from ..sim.stats import SimStats
 
 
@@ -38,6 +39,9 @@ class WorkloadResult:
     stats: SimStats
     #: Cycles spent in the measured (computation) portion.
     cycles: int
+    #: Sanitizer findings, when the run was sanitized (always clean here:
+    #: :meth:`Workload.execute` raises on findings); ``None`` otherwise.
+    sanitizer: Optional["SanitizerReport"] = None
 
     def summary(self) -> dict:
         data = self.stats.summary()
@@ -139,6 +143,7 @@ class Workload(abc.ABC):
             mode=self.mode,
             stats=device.stats,
             cycles=device.stats.cycles,
+            sanitizer=device.sanitizer_report() if device.sanitizing else None,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,152 @@
+"""On-disk result cache: round trips, robustness, atomicity."""
+
+import json
+import threading
+
+import pytest
+
+from repro.exec import ResultCache
+from repro.exec.cache import ENTRY_FORMAT
+
+KEY = "ab" * 32
+OTHER = "cd" * 32
+
+PAYLOAD = {"stats": {"cycles": 123, "launches": [{"kind": "host_kernel"}]},
+           "wall_seconds": 1.5, "sanitizer": None}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_store_load(self, cache):
+        cache.store(KEY, PAYLOAD)
+        assert cache.load(KEY) == PAYLOAD
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1
+
+    def test_miss(self, cache):
+        assert cache.load(KEY) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_overwrite_same_key(self, cache):
+        cache.store(KEY, PAYLOAD)
+        cache.store(KEY, {"wall_seconds": 2.0})
+        assert cache.load(KEY) == {"wall_seconds": 2.0}
+
+    def test_keys_are_independent(self, cache):
+        cache.store(KEY, PAYLOAD)
+        assert cache.load(OTHER) is None
+        assert cache.load(KEY) == PAYLOAD
+
+    def test_entry_count_and_clear(self, cache):
+        cache.store(KEY, PAYLOAD)
+        cache.store(OTHER, PAYLOAD)
+        assert cache.entry_count() == 2
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+        assert cache.load(KEY) is None
+
+    def test_rejects_non_fingerprint_keys(self, cache):
+        with pytest.raises(ValueError):
+            cache.load("../../etc/passwd")
+        with pytest.raises(ValueError):
+            cache.store("short", PAYLOAD)
+
+
+class TestRobustness:
+    def test_corrupt_json_is_quarantined_not_fatal(self, cache):
+        cache.store(KEY, PAYLOAD)
+        path = cache.path_for(KEY)
+        path.write_text("{not json at all", encoding="utf-8")
+        assert cache.load(KEY) is None
+        assert cache.stats.quarantined == 1
+        assert not path.exists()
+        corpse = path.with_suffix(".json.corrupt")
+        assert corpse.exists()
+        # The slot is reusable after quarantine.
+        cache.store(KEY, PAYLOAD)
+        assert cache.load(KEY) == PAYLOAD
+
+    def test_truncated_entry_is_quarantined(self, cache):
+        cache.store(KEY, PAYLOAD)
+        path = cache.path_for(KEY)
+        raw = path.read_text(encoding="utf-8")
+        path.write_text(raw[: len(raw) // 2], encoding="utf-8")
+        assert cache.load(KEY) is None
+        assert cache.stats.quarantined == 1
+
+    def test_entry_with_wrong_key_is_quarantined(self, cache):
+        cache.store(KEY, PAYLOAD)
+        entry = json.loads(cache.path_for(KEY).read_text(encoding="utf-8"))
+        entry["key"] = OTHER
+        cache.path_for(KEY).write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load(KEY) is None
+        assert cache.stats.quarantined == 1
+
+    def test_format_version_mismatch_is_invalidated(self, cache):
+        cache.store(KEY, PAYLOAD)
+        entry = json.loads(cache.path_for(KEY).read_text(encoding="utf-8"))
+        entry["format"] = ENTRY_FORMAT + 1
+        cache.path_for(KEY).write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load(KEY) is None
+        assert cache.stats.invalidated == 1
+        assert not cache.path_for(KEY).exists()
+
+    def test_invalidate_missing_entry_is_harmless(self, cache):
+        cache.invalidate(KEY)
+        assert cache.stats.invalidated == 1
+
+    def test_no_temp_droppings_after_stores(self, cache):
+        for i in range(10):
+            cache.store(KEY, {"i": i})
+        leftovers = [
+            p for p in cache.root.rglob("*") if p.is_file()
+            and not p.name.endswith(".json")
+        ]
+        assert leftovers == []
+
+
+class TestAtomicity:
+    def test_concurrent_writers_never_clobber(self, cache):
+        """Interleaved writers + readers: every read is one complete entry.
+
+        Entries are written via unique temp file + ``os.replace``, so a
+        reader can observe either complete payload but never a torn or
+        half-written one (which would surface as a quarantine).
+        """
+        payload_a = {"who": "a", "blob": ["x"] * 500}
+        payload_b = {"who": "b", "blob": ["y"] * 500}
+        stop = threading.Event()
+        errors = []
+
+        def writer(payload):
+            while not stop.is_set():
+                cache.store(KEY, payload)
+
+        def reader():
+            mine = ResultCache(cache.root)  # independent stats
+            while not stop.is_set():
+                got = mine.load(KEY)
+                if got is not None and got not in (payload_a, payload_b):
+                    errors.append(got)
+            if mine.stats.quarantined:
+                errors.append(f"quarantined {mine.stats.quarantined}")
+
+        threads = [
+            threading.Thread(target=writer, args=(payload_a,)),
+            threading.Thread(target=writer, args=(payload_b,)),
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        threading.Event().wait(0.6)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.load(KEY) in (payload_a, payload_b)

@@ -1,0 +1,134 @@
+"""Job/config fingerprinting: stability and sensitivity."""
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.config import SEGMENT_BYTES, GPUConfig
+from repro.errors import ConfigError
+from repro.exec import SweepJob
+from repro.exec import fingerprint as fp_module
+from repro.runtime import ExecutionMode
+
+
+def _mutated(field: dataclasses.Field, value):
+    """A different, validator-legal value for one GPUConfig field."""
+    if field.name == "warp_scheduler":
+        return "rr" if value == "gto" else "gto"
+    if isinstance(value, bool):
+        return not value
+    if field.name == "max_resident_threads":
+        return value + 32  # must stay a warp-size multiple
+    if field.name == "agt_entries":
+        return value * 2  # must stay a power of two
+    return value + 1
+
+
+class TestConfigFingerprint:
+    def test_stable_within_process(self):
+        assert GPUConfig.k20c().fingerprint() == GPUConfig().fingerprint()
+        assert GPUConfig.small().fingerprint() == GPUConfig.small().fingerprint()
+
+    def test_stable_across_process_boundary(self):
+        """The same config hashes identically in a fresh interpreter."""
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        code = (
+            "from repro.config import GPUConfig;"
+            "print(GPUConfig.k20c().fingerprint())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == GPUConfig.k20c().fingerprint()
+
+    def test_sensitive_to_every_field(self):
+        """Changing any one field changes the fingerprint.
+
+        ``l2_line`` is excluded: the validator pins it to the coalescing
+        segment size, so it has exactly one legal value.
+        """
+        base = GPUConfig.k20c()
+        base_fp = base.fingerprint()
+        seen = {base_fp}
+        for field in dataclasses.fields(GPUConfig):
+            if field.name == "l2_line":
+                assert base.l2_line == SEGMENT_BYTES
+                continue
+            variant = dataclasses.replace(
+                base, **{field.name: _mutated(field, getattr(base, field.name))}
+            )
+            variant_fp = variant.fingerprint()
+            assert variant_fp != base_fp, f"insensitive to {field.name}"
+            assert variant_fp not in seen, f"collision on {field.name}"
+            seen.add(variant_fp)
+
+    def test_round_trip_preserves_fingerprint(self):
+        cfg = GPUConfig.small()
+        assert GPUConfig.from_dict(cfg.to_dict()).fingerprint() == cfg.fingerprint()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = GPUConfig.k20c().to_dict()
+        data["warp_width"] = 64
+        with pytest.raises(ConfigError):
+            GPUConfig.from_dict(data)
+
+
+class TestSweepJobFingerprint:
+    def _job(self, **overrides) -> SweepJob:
+        defaults = dict(
+            benchmark="bfs_citation",
+            mode=ExecutionMode.DTBL,
+            scale=0.5,
+            latency_scale=0.25,
+            config=None,
+            verify=True,
+        )
+        defaults.update(overrides)
+        return SweepJob.create(**defaults)
+
+    def test_identical_jobs_identical_keys(self):
+        assert self._job().fingerprint() == self._job().fingerprint()
+
+    def test_none_config_is_canonical_default(self):
+        explicit = self._job(config=GPUConfig.k20c())
+        assert self._job().fingerprint() == explicit.fingerprint()
+
+    @pytest.mark.parametrize("override", [
+        {"benchmark": "bht"},
+        {"mode": ExecutionMode.CDP},
+        {"scale": 0.25},
+        {"latency_scale": 0.5},
+        {"verify": False},
+        {"config": GPUConfig.k20c().with_agt_entries(512)},
+    ])
+    def test_sensitive_to_each_dimension(self, override):
+        assert self._job().fingerprint() != self._job(**override).fingerprint()
+
+    def test_sensitive_to_sanitize_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        plain = self._job().fingerprint()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert self._job().fingerprint() != plain
+
+    def test_sensitive_to_config_sanitize_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        sanitized = dataclasses.replace(GPUConfig.k20c(), sanitize=True)
+        assert self._job().fingerprint() != self._job(config=sanitized).fingerprint()
+
+    def test_code_version_salt(self, monkeypatch):
+        before = self._job().fingerprint()
+        monkeypatch.setattr(fp_module, "CODE_VERSION", "repro-0.0.0:test")
+        assert self._job().fingerprint() != before
+
+    def test_key_shape(self):
+        key = self._job().fingerprint()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")

@@ -1,0 +1,149 @@
+"""Exact serialization round trips for SimStats and its components."""
+
+import json
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.memory.coalescing import CoalescingStats
+from repro.memory.dram import DramStats
+from repro.runtime import ExecutionMode
+from repro.sim.sanitizer import SanitizerFinding, SanitizerReport
+from repro.sim.stats import LaunchKind, LaunchRecord, SimStats
+from repro.workloads import get_benchmark
+
+
+def json_round_trip(data: dict) -> dict:
+    return json.loads(json.dumps(data))
+
+
+class TestSimStatsRoundTrip:
+    @pytest.mark.parametrize("mode", [
+        ExecutionMode.FLAT, ExecutionMode.CDP, ExecutionMode.DTBL,
+    ])
+    def test_real_run_exact(self, mode):
+        """to_dict -> JSON -> from_dict -> to_dict is the identity."""
+        workload = get_benchmark("bfs_citation", mode, 0.08)
+        stats = workload.execute(latency_scale=0.25).stats
+        data = stats.to_dict()
+        rebuilt = SimStats.from_dict(json_round_trip(data))
+        assert rebuilt.to_dict() == data
+        # Derived metrics (what the figures consume) follow exactly.
+        assert rebuilt.summary() == stats.summary()
+        assert rebuilt.config == stats.config
+        assert len(rebuilt.launches) == len(stats.launches)
+        assert [r.kind for r in rebuilt.launches] == [
+            r.kind for r in stats.launches
+        ]
+
+    def test_nested_counters_preserved(self):
+        workload = get_benchmark("bht", ExecutionMode.DTBL, 0.08)
+        stats = workload.execute(latency_scale=0.25).stats
+        rebuilt = SimStats.from_dict(json_round_trip(stats.to_dict()))
+        assert rebuilt.dram.to_dict() == stats.dram.to_dict()
+        assert rebuilt.coalescing.to_dict() == stats.coalescing.to_dict()
+        assert (rebuilt.coalescing.histogram == stats.coalescing.histogram).all()
+        assert rebuilt.dram.efficiency == stats.dram.efficiency
+
+
+class TestComponentRoundTrips:
+    def test_launch_record_with_nones(self):
+        record = LaunchRecord(
+            kind=LaunchKind.AGG_GROUP,
+            kernel_name="child",
+            launch_cycle=10,
+            total_blocks=4,
+            total_threads=128,
+            param_bytes=64,
+            record_bytes=256,
+            first_exec_cycle=None,
+            fully_distributed_cycle=None,
+            completed_cycle=None,
+        )
+        rebuilt = LaunchRecord.from_dict(json_round_trip(record.to_dict()))
+        assert rebuilt == record
+        assert rebuilt.waiting_cycles is None
+
+    def test_launch_record_completed(self):
+        record = LaunchRecord(
+            kind=LaunchKind.DEVICE_KERNEL, kernel_name="k",
+            launch_cycle=5, total_blocks=1, total_threads=32,
+            first_exec_cycle=40, fully_distributed_cycle=41,
+            completed_cycle=99,
+        )
+        rebuilt = LaunchRecord.from_dict(json_round_trip(record.to_dict()))
+        assert rebuilt == record
+        assert rebuilt.waiting_cycles == 35
+
+    def test_dram_stats(self):
+        stats = DramStats(n_read=10, n_write=4, row_hits=8, row_misses=6,
+                          n_activity=50)
+        rebuilt = DramStats.from_dict(json_round_trip(stats.to_dict()))
+        assert rebuilt == stats
+        assert rebuilt.efficiency == stats.efficiency
+
+    def test_coalescing_stats(self):
+        stats = CoalescingStats()
+        stats.record(lanes=32, transactions=2)
+        stats.record(lanes=7, transactions=7)
+        rebuilt = CoalescingStats.from_dict(json_round_trip(stats.to_dict()))
+        assert rebuilt.to_dict() == stats.to_dict()
+        assert rebuilt.average_transactions == stats.average_transactions
+
+    def test_coalescing_histogram_shape_checked(self):
+        data = CoalescingStats().to_dict()
+        data["histogram"] = [0, 1, 2]
+        with pytest.raises(ValueError):
+            CoalescingStats.from_dict(data)
+
+
+class TestSanitizerReportRoundTrip:
+    def _finding(self, kind="data-race", pc=7):
+        return SanitizerFinding(
+            kind=kind, cycle=123, smx=2, kernel="bfs_child", pc=pc,
+            address=4096, lanes=(0, 3, 31), detail="conflicting store",
+        )
+
+    def test_empty_report(self):
+        report = SanitizerReport()
+        rebuilt = SanitizerReport.from_dict(json_round_trip(report.to_dict()))
+        assert rebuilt.clean
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_report_with_findings(self):
+        report = SanitizerReport(max_records=8)
+        report.add(self._finding())
+        report.add(self._finding())  # same site: counted, not re-recorded
+        report.add(self._finding(kind="oob", pc=9))
+        rebuilt = SanitizerReport.from_dict(json_round_trip(report.to_dict()))
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.counts == {"data-race": 2, "oob": 1}
+        assert len(rebuilt.findings) == 2
+        assert rebuilt.findings[0] == report.findings[0]
+        assert not rebuilt.clean
+        assert rebuilt.total() == 3
+
+    def test_site_dedup_survives_round_trip(self):
+        report = SanitizerReport()
+        report.add(self._finding())
+        rebuilt = SanitizerReport.from_dict(json_round_trip(report.to_dict()))
+        rebuilt.add(self._finding())  # same site again
+        assert len(rebuilt.findings) == 1
+        assert rebuilt.counts["data-race"] == 2
+
+    def test_sanitized_run_report_round_trips(self):
+        """A real sanitized simulation's report serializes exactly."""
+        config = GPUConfig(sanitize=True)
+        workload = get_benchmark("bfs_citation", ExecutionMode.DTBL, 0.08)
+        result = workload.execute(config=config, latency_scale=0.25)
+        assert result.sanitizer is not None
+        assert result.sanitizer.clean
+        rebuilt = SanitizerReport.from_dict(
+            json_round_trip(result.sanitizer.to_dict())
+        )
+        assert rebuilt.to_dict() == result.sanitizer.to_dict()
+
+    def test_unsanitized_run_has_no_report(self):
+        workload = get_benchmark("bfs_citation", ExecutionMode.FLAT, 0.08)
+        result = workload.execute(latency_scale=0.25)
+        assert result.sanitizer is None

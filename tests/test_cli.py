@@ -3,7 +3,14 @@
 import pytest
 
 from repro.harness.__main__ import main as harness_main
+from repro.harness.runner import clear_cache
 from repro.workloads.__main__ import main as workloads_main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Default on-disk caches land in a temp dir, never the repo."""
+    monkeypatch.chdir(tmp_path)
 
 
 class TestWorkloadsCli:
@@ -31,6 +38,29 @@ class TestWorkloadsCli:
         assert "[flat]" in out and "[dtbli]" in out
         assert "speedup" in out
 
+    def test_no_cache_writes_nothing(self, tmp_path):
+        code = workloads_main(
+            ["bht", "--mode", "flat", "--scale", "0.1", "--no-cache"]
+        )
+        assert code == 0
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_warm_cache_identical_output(self, tmp_path, capsys):
+        argv = [
+            "bht", "--mode", "flat", "dtbl", "--scale", "0.1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert workloads_main(argv) == 0
+        cold = capsys.readouterr().out
+        assert (tmp_path / "cache").is_dir()
+        assert workloads_main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_bad_jobs_errors(self):
+        with pytest.raises(SystemExit):
+            workloads_main(["bht", "--jobs", "0"])
+
 
 class TestHarnessCli:
     def test_static_table(self, capsys):
@@ -56,6 +86,39 @@ class TestHarnessCli:
         out = capsys.readouterr().out
         assert "Speedup over Flat" in out
 
+    def test_parallel_grid_matches_serial(self, tmp_path, capsys):
+        """--jobs 2 renders the same figure as the in-process path."""
+        base = [
+            "--figure", "11",
+            "--benchmarks", "bfs_citation",
+            "--scale", "0.1",
+            "--quiet",
+            "--no-cache",
+        ]
+        assert harness_main(base) == 0
+        serial = capsys.readouterr().out
+        clear_cache()  # force the second pass through the worker pool
+        assert harness_main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cache_stats_reported(self, tmp_path, capsys):
+        code = harness_main(
+            [
+                "--figure", "11",
+                "--benchmarks", "bht",
+                "--scale", "0.1",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[cache] hits=" in out
+
     def test_unknown_figure_errors(self):
         with pytest.raises(SystemExit):
             harness_main(["--figure", "nope"])
+
+    def test_bad_jobs_errors(self):
+        with pytest.raises(SystemExit):
+            harness_main(["--jobs", "0"])
