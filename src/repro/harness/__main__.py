@@ -35,6 +35,7 @@ from .experiments import (
     table4_benchmarks,
 )
 from ..exec import DEFAULT_CACHE_DIR, ResultCache
+from ..sim import profiler as _profiler
 from .runner import DEFAULT_LATENCY_SCALE, run_grid
 
 _GRID_FIGURES = {
@@ -82,11 +83,22 @@ def main(argv=None) -> int:
                              "(no reads, no writes)")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         help=f"cache directory (default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the simulation hot path (issues and "
+                             "host time per opcode / fused region); forces "
+                             "--jobs 1 and bypasses the result cache")
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    profiler = None
+    if args.profile:
+        # Only in-process simulations are observed: pin one worker and
+        # bypass the cache so the profiled figures actually simulate.
+        args.jobs = 1
+        args.cache = False
+        profiler = _profiler.activate()
     cache = ResultCache(args.cache_dir) if args.cache else None
 
     if args.sanitize:
@@ -139,6 +151,10 @@ def main(argv=None) -> int:
         parser.error(f"unknown figure {args.figure!r}")
     if args.sanitize:
         print("sanitizer: clean (no findings across all simulations)")
+    if profiler is not None:
+        _profiler.deactivate()
+        print()
+        print(profiler.report())
     if verbose:
         if cache is not None:
             print(f"\n[cache] {cache.stats.format()} ({args.cache_dir})")

@@ -18,6 +18,7 @@ from .program import Program
 from .builder import KernelBuilder
 from .asmparser import parse_program
 from .optimizer import optimize, optimized_copy
+from .regions import control_flow_leaders, straight_line_regions
 
 __all__ = [
     "Cmp",
@@ -28,7 +29,9 @@ __all__ = [
     "Program",
     "Reg",
     "Special",
+    "control_flow_leaders",
     "optimize",
     "optimized_copy",
     "parse_program",
+    "straight_line_regions",
 ]

@@ -79,8 +79,11 @@ class DramController:
         self._config = config
         self._rows_per_segment = max(1, config.dram_row_bytes // SEGMENT_BYTES)
         self._banks = config.dram_banks
-        self._bank_next_free = np.zeros(self._banks, dtype=np.int64)
-        self._bank_open_row = np.full(self._banks, -1, dtype=np.int64)
+        # Plain Python lists: the service loop reads and writes single
+        # scalar slots, where list indexing is several times cheaper
+        # than ndarray element access.
+        self._bank_next_free = [0] * self._banks
+        self._bank_open_row = [-1] * self._banks
         self._bus_next_free = 0
         self.stats = DramStats()
         # Online interval-union state for n_activity.
@@ -99,7 +102,7 @@ class DramController:
         cfg = self._config
         row = segment // self._rows_per_segment
         bank = row % self._banks
-        start = max(arrival, int(self._bank_next_free[bank]), self._bus_next_free)
+        start = max(arrival, self._bank_next_free[bank], self._bus_next_free)
         if self._bank_open_row[bank] == row:
             slot = cfg.dram_row_hit_cycles
             latency = cfg.dram_hit_latency
@@ -159,17 +162,41 @@ class MemorySubsystem:
         ``segments`` must be ascending (the order ``np.unique`` /
         :func:`~repro.memory.coalescing.coalesce_address_list` produce) so
         that DRAM state evolves identically to the reference path.
+
+        The L2 probe is inlined here (same tag/LRU/stats semantics as
+        :meth:`Cache.access <repro.memory.cache.Cache.access>`, covered
+        by the differential suite): this is the hottest call chain in
+        the fast core, and skipping a method call plus per-probe stats
+        attribute churn per segment is a measurable win.
         """
-        l2_latency = self._config.l2_hit_latency
-        completion = cycle + l2_latency
+        l2 = self.l2
+        completion = cycle + self._config.l2_hit_latency
         arrival = completion + self._config.dram_base_latency
-        access = self.l2.access
         service = self.dram.service
+        sets = l2._sets
+        num_sets = l2.num_sets
+        assoc = l2.assoc
+        cstats = l2.stats
+        acc = hits = 0
         for segment in segments:
-            if not access(segment):
-                done = service(segment, is_write, arrival)
-                if done > completion:
-                    completion = done
+            ways = sets[segment % num_sets]
+            tag = segment // num_sets
+            acc += 1
+            if tag in ways:
+                del ways[tag]
+                ways[tag] = None
+                hits += 1
+                continue
+            if len(ways) >= assoc:
+                del ways[next(iter(ways))]
+                cstats.evictions += 1
+            ways[tag] = None
+            done = service(segment, is_write, arrival)
+            if done > completion:
+                completion = done
+        cstats.accesses += acc
+        cstats.hits += hits
+        cstats.misses += acc - hits
         return completion
 
     def read_latency(self, segment: int, cycle: int) -> int:

@@ -1,12 +1,14 @@
 """Cycle-level GPU simulator (GK110/Kepler-like baseline, Section 2)."""
 
 from .kernel import KernelFunction, LaunchDims, dims_total
+from .profiler import HotPathProfiler
 from .sanitizer import Sanitizer, SanitizerFinding, SanitizerReport
 from .stats import LaunchKind, LaunchRecord, SimStats
 from .gpu import GPU
 
 __all__ = [
     "GPU",
+    "HotPathProfiler",
     "KernelFunction",
     "LaunchDims",
     "LaunchKind",

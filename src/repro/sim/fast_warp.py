@@ -20,6 +20,15 @@ the per-step interpretation overhead three ways:
   one vector op and feed segment sets to
   :func:`repro.memory.coalescing.coalesce_address_list`; address-disjoint
   atomics execute as gather/compute/scatter instead of a per-lane loop.
+* **Superblock fusion.**  Decode also discovers maximal straight-line
+  regions of ALU-class instructions (no branches, barriers, memory ops,
+  or reconvergence points inside — :mod:`repro.isa.regions`) and a warp
+  executing with a full mask inside an :meth:`SMX.burst
+  <repro.sim.smx.SMX.burst>` window runs a whole region in one call
+  (:meth:`FastWarp.step_window`), charging the exact per-instruction
+  cycles and stats of unfused execution.  Divergent entry (partial
+  mask), ``sanitize=True`` and the non-burst issue path all fall back to
+  per-instruction dispatch.
 
 Anything rare (shared/local memory, shuffles, votes, device-runtime calls,
 atomics with intra-warp address conflicts, immediate-base memory ops)
@@ -37,13 +46,15 @@ Stat-exactness invariants worth keeping in mind when editing:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..config import WARP_SIZE
+from ..config import SEGMENT_WORDS, WARP_SIZE
 from ..errors import ExecutionError
 from ..isa.instructions import Bank, Cmp, Opcode, Reg, Special
+from ..isa.regions import straight_line_regions
 from ..memory.coalescing import coalesce_address_list
 from .warp import _CMP_FUNCS, _DISPATCH, Warp
 
@@ -52,9 +63,13 @@ from .warp import _CMP_FUNCS, _DISPATCH, Warp
 #
 # Lane geometry depends only on (block_dims, block_threads, warp_index),
 # so warps of equally-shaped blocks share one set of read-only arrays
-# instead of recomputing five vector ops per warp construction.
+# instead of recomputing five vector ops per warp construction.  The
+# cache is a small LRU: long sweeps over many block shapes (the DTBL
+# workloads launch blocks sized by each DFP) must not grow it without
+# bound.
 # ----------------------------------------------------------------------
-_GEOM_CACHE: Dict[Tuple[int, int, int, int], tuple] = {}
+_GEOM_CACHE_LIMIT = 256
+_GEOM_CACHE: "OrderedDict[Tuple[int, int, int, int], tuple]" = OrderedDict()
 
 
 def _geometry(bx: int, by: int, threads: int, warp_index: int) -> tuple:
@@ -72,6 +87,10 @@ def _geometry(bx: int, by: int, threads: int, warp_index: int) -> tuple:
             arr.setflags(write=False)
         cached = (init_mask, tid_x, tid_y, tid_z, clamped, active)
         _GEOM_CACHE[key] = cached
+        if len(_GEOM_CACHE) > _GEOM_CACHE_LIMIT:
+            _GEOM_CACHE.popitem(last=False)
+    else:
+        _GEOM_CACHE.move_to_end(key)
     return cached
 
 
@@ -114,35 +133,54 @@ def _fval(w, kind, idx, imm):
 # ----------------------------------------------------------------------
 # Shared timing helper for global-memory instructions
 # ----------------------------------------------------------------------
-def _global_timing(w, addrs: np.ndarray, is_write: bool, cycle: int) -> None:
-    segments = coalesce_address_list(addrs.tolist())
-    cstats = w._stats.coalescing
+def _global_timing(w, alist: list, is_write: bool, cycle: int, lo: int, hi: int) -> None:
+    # Small-range fast path: when the warp's addresses span fewer than
+    # SEGMENT_WORDS words they touch at most two adjacent segments, and
+    # both endpoints are real addresses, so the segment list is exactly
+    # [lo//S] or [lo//S, hi//S] — no set comprehension needed.
+    if 0 <= hi - lo < SEGMENT_WORDS:
+        s0 = lo // SEGMENT_WORDS
+        s1 = hi // SEGMENT_WORDS
+        segments = [s0] if s0 == s1 else [s0, s1]
+    else:
+        segments = coalesce_address_list(alist)
+    cstats = w._cstats
     cstats.warp_accesses += 1
     cstats.transactions += len(segments)
-    cstats.lanes += addrs.size
+    cstats.lanes += len(alist)
     cstats.histogram[len(segments)] += 1
-    completion = w._gpu.memsys.warp_access_list(segments, is_write, cycle)
+    completion = w._mem_access(segments, is_write, cycle)
     if is_write:
         w.ready_cycle = cycle + w._alu_lat
     else:
         w.ready_cycle = completion
 
 
-def _lane_addrs(w, frame, base_idx: int, off: int) -> np.ndarray:
-    """Active-lane global addresses (register base), bounds-checked."""
+def _lane_addrs(w, frame, base_idx: int, off: int):
+    """Active-lane global addresses (register base), bounds-checked.
+
+    Returns ``(addrs, alist, lo, hi)``: the address ndarray (for the
+    gather or scatter itself), its Python-int list, and the address
+    range — one ``tolist()`` plus two C-level ``min``/``max`` calls
+    beat two numpy reductions on 32-element arrays, and the bounds feed
+    :func:`_global_timing`'s small-range segment fast path.  ``(0, -1)``
+    signals an empty lane set."""
     base = w.regs_i[base_idx]
     if not frame[4]:
         base = base[frame[2]]
     addrs = base + off if off else base
-    if addrs.size:
-        lo = int(addrs.min())
-        hi = int(addrs.max())
+    alist = addrs.tolist()
+    if alist:
+        lo = min(alist)
+        hi = max(alist)
         if lo < 0 or hi >= w._mem_size:
             raise ExecutionError(
                 f"kernel {w.tb.func.name!r}: global access out of range "
                 f"(addr {lo}..{hi}, mem size {w._mem_size})"
             )
-    return addrs
+    else:
+        lo, hi = 0, -1
+    return addrs, alist, lo, hi
 
 
 # ----------------------------------------------------------------------
@@ -492,14 +530,14 @@ def _make_load(instr):
     off = instr.offset
 
     def run(w, frame, cycle):
-        addrs = _lane_addrs(w, frame, base_idx, off)
+        addrs, alist, lo, hi = _lane_addrs(w, frame, base_idx, off)
         mem = w._mem_f if is_float else w._mem_i
         reg = (w.regs_f if is_float else w.regs_i)[d]
         if frame[4]:
             reg[:] = mem[addrs]
         else:
             reg[frame[2]] = mem[addrs]
-        _global_timing(w, addrs, False, cycle)
+        _global_timing(w, alist, False, cycle, lo, hi)
         return False
 
     return run
@@ -521,7 +559,7 @@ def _make_store(instr):
         sk = None
 
     def run(w, frame, cycle):
-        addrs = _lane_addrs(w, frame, base_idx, off)
+        addrs, alist, lo, hi = _lane_addrs(w, frame, base_idx, off)
         if is_float:
             src = _fval(w, sk, si, sv)
             mem = w._mem_f
@@ -532,7 +570,7 @@ def _make_store(instr):
             mem[addrs] = src if frame[4] else src[frame[2]]
         else:
             mem[addrs] = src
-        _global_timing(w, addrs, True, cycle)
+        _global_timing(w, alist, True, cycle, lo, hi)
         return False
 
     return run
@@ -570,11 +608,19 @@ def _make_atomic(instr):
             # Intra-warp address conflict: the reference core serializes
             # conflicting lanes in lane order; keep its exact semantics.
             return ref_handler(w, instr, frame, mask, cycle)
-        for a in alist:
-            if a < 0 or a >= w._mem_size:
-                raise ExecutionError(
-                    f"kernel {w.tb.func.name!r}: atomic out of range at {a}"
-                )
+        if alist:
+            lo = min(alist)
+            hi = max(alist)
+            if lo < 0 or hi >= w._mem_size:
+                # Cold path: report the first offending address in lane
+                # order, exactly as the reference core does.
+                for a in alist:
+                    if a < 0 or a >= w._mem_size:
+                        raise ExecutionError(
+                            f"kernel {w.tb.func.name!r}: atomic out of range at {a}"
+                        )
+        else:
+            lo, hi = 0, -1
         mem = w._mem_i
         old = mem[addrs]
         if d >= 0:
@@ -599,7 +645,7 @@ def _make_atomic(instr):
         else:  # ATOM_CAS: b is compare, c is the new value
             new = (w.regs_i[ci] if full else w.regs_i[ci][mask]) if ci >= 0 else cv
             mem[addrs] = np.where(old == vals, new, old)
-        _global_timing(w, addrs, False, cycle)
+        _global_timing(w, alist, False, cycle, lo, hi)
         return False
 
     return run
@@ -737,25 +783,151 @@ def _make_ref(instr, handler):
     return run
 
 
-def decode_program(program) -> tuple:
-    """Decode a finalized program into (kernel table, n_int, n_flt).
+# ----------------------------------------------------------------------
+# Superblock fusion
+#
+# Opcodes that may live inside a fused region: pure ALU/SFU register ops
+# with a fixed latency class and no control flow, no memory-system
+# timing, no barrier and no device-runtime side effects.  Loads/stores
+# and atomics are excluded even when natively decoded: their latency
+# depends on DRAM/L2 state, and coalescing stats must accrue at the
+# exact per-instruction issue order the scheduler would produce.
+# ----------------------------------------------------------------------
+_FUSABLE_OPS = frozenset(
+    {
+        Opcode.IDIV,
+        Opcode.IMOD,
+        Opcode.INEG,
+        Opcode.INOT,
+        Opcode.MOV,
+        Opcode.FDIV,
+        Opcode.FNEG,
+        Opcode.FSQRT,
+        Opcode.FABS,
+        Opcode.FMOV,
+        Opcode.ITOF,
+        Opcode.FTOI,
+        Opcode.SETP,
+        Opcode.FSETP,
+        Opcode.SELP,
+        Opcode.READ_SPECIAL,
+    }
+    | set(_INT_BIN_UFUNCS)
+    | set(_FLT_BIN_UFUNCS)
+)
 
-    The table holds one ``(closure, opcode)`` pair per pc; the result is
-    cached on the program, so all warps of all launches share one decode.
+#: Fusable opcodes charged the SFU latency class (mirrors the closures).
+_SFU_OPS = frozenset({Opcode.IDIV, Opcode.IMOD, Opcode.FDIV, Opcode.FSQRT})
+
+#: Opcodes a warp may execute past other warps' ready cycles (see
+#: :meth:`FastWarp.step_free_window`): their native closures touch only
+#: warp-private state — registers, the divergence stack, ``ready_cycle``
+#: — and additive stats counters, never the memory system, the event
+#: queue, warp-lifecycle bookkeeping or ``gpu.cycle``.  A reference
+#: fallback never qualifies (the decode's per-pc class also requires a
+#: native closure).
+_PRIVATE_OPS = _FUSABLE_OPS | {Opcode.BRA, Opcode.JOIN, Opcode.NOP}
+
+#: Global-memory opcodes with native closures: shared DRAM/L2 state, so
+#: a run-ahead window may only execute one *in global time order* — and
+#: then only while its SMX is the sole runnable one (sensitive ops on
+#: other SMXs are bounded by the burst horizon, not by this SMX's heap).
+_MEM_OPS = frozenset(
+    {
+        Opcode.LD,
+        Opcode.FLD,
+        Opcode.ST,
+        Opcode.FST,
+        Opcode.ATOM_ADD,
+        Opcode.ATOM_MIN,
+        Opcode.ATOM_MAX,
+        Opcode.ATOM_OR,
+        Opcode.ATOM_EXCH,
+        Opcode.ATOM_CAS,
+    }
+)
+
+
+class FusedRegion:
+    """One decoded straight-line ALU region, executable in a single call.
+
+    ``runs`` are the region's per-instruction closures in pc order;
+    ``sfu_flags[i]`` says whether instruction i is SFU-class.  Latencies
+    are *not* baked in: the decode is cached on the shared Program, and
+    different GPUs may run it with different ``alu_latency`` /
+    ``sfu_latency`` values, so the region's duration is derived per warp
+    as ``n_alu * alu_lat + n_sfu * sfu_lat``.
+    """
+
+    __slots__ = ("start", "length", "ops", "runs", "sfu_flags", "n_alu", "n_sfu")
+
+    def __init__(self, start: int, ops: tuple, runs: tuple) -> None:
+        self.start = start
+        self.length = len(ops)
+        self.ops = ops
+        self.runs = runs
+        self.sfu_flags = tuple(op in _SFU_OPS for op in ops)
+        self.n_sfu = sum(self.sfu_flags)
+        self.n_alu = self.length - self.n_sfu
+
+
+def decode_program(program) -> tuple:
+    """Decode a finalized program into (table, n_int, n_flt, regions).
+
+    The table holds one ``(closure, opcode, klass, region)`` row per
+    pc.  ``klass`` drives budget-safe run-ahead: 1 = warp-private
+    (native closure, opcode in :data:`_PRIVATE_OPS`), 2 = native
+    global-memory op (:data:`_MEM_OPS`; run-ahead may inline it in
+    global time order under the scheduler heap's bound), 0 = everything
+    else (barriers, exits, launches, reference fallbacks — run-ahead
+    always stops before these).  ``region`` is the :class:`FusedRegion`
+    starting at this pc, or ``None`` — carried in the row so the hot
+    window loops pay one table fetch instead of a separate dict probe
+    per instruction.  ``regions`` maps each start pc to its region
+    (``None`` when the program has no fusable region).  The result is
+    cached on the program, so all warps of all launches share one
+    decode.
     """
     cached = getattr(program, "_fast_table", None)
     if cached is not None:
         return cached
     table: List[tuple] = []
+    native: List[bool] = []
     for instr in program.instructions:
         op = instr.op
         builder = _BUILDERS.get(op)
         run = builder(instr) if builder is not None else None
+        native.append(run is not None)
         if run is None:
             run = _make_ref(instr, _DISPATCH[op])
-        table.append((run, op))
+        if native[-1] and op in _PRIVATE_OPS:
+            klass = 1
+        elif native[-1] and op in _MEM_OPS:
+            klass = 2
+        else:
+            klass = 0
+        table.append((run, op, klass, None))
+
+    # A pc is fusable only when its opcode class qualifies AND the decode
+    # produced a native closure (a reference fallback — e.g. a float
+    # immediate in an int operand — keeps reference semantics, including
+    # its own error behaviour, so it must stay a visible single step).
+    def fusable(pc, instr):
+        return native[pc] and instr.op in _FUSABLE_OPS
+
+    spans = straight_line_regions(program.instructions, fusable)
+    regions = None
+    if spans:
+        regions = {}
+        for start, length in spans:
+            ops = tuple(table[pc][1] for pc in range(start, start + length))
+            runs = tuple(table[pc][0] for pc in range(start, start + length))
+            region = FusedRegion(start, ops, runs)
+            regions[start] = region
+            run, op, klass, _ = table[start]
+            table[start] = (run, op, klass, region)
     highest = program.max_register_index()
-    cached = (table, highest["int"] + 1, highest["flt"] + 1)
+    cached = (table, highest["int"] + 1, highest["flt"] + 1, regions)
     program._fast_table = cached
     return cached
 
@@ -763,7 +935,7 @@ def decode_program(program) -> tuple:
 class FastWarp(Warp):
     """Warp with pre-decoded instruction kernels and extended frames."""
 
-    __slots__ = ("_table", "_alu_lat", "_sfu_lat")
+    __slots__ = ("_table", "_regions", "_alu_lat", "_sfu_lat", "_cstats", "_mem_access")
 
     def __init__(self, tb, warp_index: int, context_slot: int) -> None:
         gpu = tb.gpu
@@ -784,9 +956,14 @@ class FastWarp(Warp):
         self._san = gpu.sanitizer
         self._alu_lat = gpu.config.alu_latency
         self._sfu_lat = gpu.config.sfu_latency
+        # Hot-path attribute caches: one getattr instead of a chain per
+        # global-memory instruction (see _global_timing).
+        self._cstats = gpu.stats.coalescing
+        self._mem_access = gpu.memsys.warp_access_list
 
-        table, n_int, n_flt = decode_program(func.program)
+        table, n_int, n_flt, regions = decode_program(func.program)
         self._table = table
+        self._regions = regions
         self.regs_i = np.zeros((n_int, WARP_SIZE), dtype=np.int64)
         self.regs_f = np.zeros((n_flt, WARP_SIZE), dtype=np.float64)
 
@@ -815,7 +992,7 @@ class FastWarp(Warp):
             frame = stack[-1]
         pc = frame[0]
         try:
-            run, op = self._table[pc]
+            run, op, _, _ = self._table[pc]
         except IndexError:
             raise ExecutionError(
                 f"warp ran off the end of kernel {self.tb.func.name!r} at pc={pc}"
@@ -830,3 +1007,286 @@ class FastWarp(Warp):
             self._san.observe(self, pc, self._instrs[pc], frame[2], cycle)
         if not run(self, frame, cycle):
             frame[0] = pc + 1
+
+    def step_window(self, cycle: int, horizon: int, events: list, heap: list) -> int:
+        """Execute this warp repeatedly while it is provably the sole actor.
+
+        Called only from :meth:`SMX.burst <repro.sim.smx.SMX.burst>` in
+        place of :meth:`step`, after the warp was popped as ready at
+        ``cycle`` during a single-runnable-SMX burst.  As long as the
+        warp's next issue lands strictly before the *window bound* — the
+        earliest of ``horizon`` (next other-SMX wake-up / watchdog), the
+        next pending GPU event, and the next other-warp ready cycle on
+        this SMX (``heap``, whose stale lazy-deletion entries can only
+        shrink the bound) — no scheduler decision, issue-budget check or
+        event delivery could interleave with it in the reference
+        execution, so the warp keeps executing locally without
+        round-tripping through the issue loop.
+
+        Within a window, a full-mask warp entering a decoded
+        :class:`FusedRegion` whose whole duration fits under the bound
+        executes the region in one call, charging identical
+        per-instruction stats and tracer callbacks (fusion is skipped
+        under the sanitizer: its one-``observe()``-per-step contract
+        needs the per-instruction path).  Everything else single-steps
+        with exact synthesized issue cycles.
+
+        Returns the issue cycle of the last executed instruction; the
+        caller advances ``gpu.cycle`` and the occupancy integral to it.
+        """
+        gpu = self._gpu
+        table = self._table
+        stats = self._stats
+        san = self._san
+        tracer = gpu.tracer
+        instrs = self._instrs
+        alu_lat = self._alu_lat
+        sfu_lat = self._sfu_lat
+        # Fused timing arithmetic needs strictly increasing issue cycles
+        # (latency >= 1); degenerate zero-latency configs single-step.
+        # (Rows carry a region only when the decode found one, so no
+        # separate regions-present check is needed.)
+        fuse = san is None and alu_lat >= 1 and sfu_lat >= 1
+        stack = self.stack
+        last = cycle
+        # The window bound is invariant across private and memory ops:
+        # only klass-0 ops (launches, barriers, reference fallbacks) can
+        # schedule events or wake warps, and the caller owns all pops.
+        # Cache it and refresh only after those.
+        limit = horizon
+        if events:
+            e0 = events[0][0]
+            if e0 < limit:
+                limit = e0
+        if heap:
+            h0 = heap[0][0]
+            if h0 < limit:
+                limit = h0
+        # Issue counters accumulate in locals and flush once per window
+        # (exact under exceptions via the finally; nothing observes the
+        # running totals mid-window — tracer and sanitizer callbacks get
+        # the per-op values as arguments).
+        issued = 0
+        lanes = 0
+        try:
+            while True:
+                frame = stack[-1]
+                while len(stack) > 1 and frame[1] >= 0 and frame[0] == frame[1]:
+                    stack.pop()
+                    frame = stack[-1]
+                pc = frame[0]
+                try:
+                    run, op, klass, region = table[pc]
+                except IndexError:
+                    raise ExecutionError(
+                        f"warp ran off the end of kernel {self.tb.func.name!r} "
+                        f"at pc={pc}"
+                    ) from None
+                if region is not None and fuse and frame[4]:
+                    end = cycle + region.n_alu * alu_lat + region.n_sfu * sfu_lat
+                    if end <= limit:
+                        n = region.length
+                        issued += n
+                        lanes += n * frame[3]
+                        if tracer is not None:
+                            tracer.on_fused(self, pc, region, cycle)
+                        c = cycle
+                        for run in region.runs:
+                            run(self, frame, c)
+                            c = self.ready_cycle
+                        frame[0] = pc + n
+                        last = end - (sfu_lat if region.sfu_flags[-1] else alu_lat)
+                        if end < limit:
+                            cycle = end
+                            continue
+                        return last
+                issued += 1
+                lanes += frame[3]
+                if tracer is not None:
+                    tracer.on_issue(self, pc, op, frame[3], cycle)
+                if san is not None:
+                    san.observe(self, pc, instrs[pc], frame[2], cycle)
+                if not run(self, frame, cycle):
+                    frame[0] = pc + 1
+                last = cycle
+                if self.finished or self.at_barrier:
+                    return last
+                nxt = self.ready_cycle
+                if nxt <= cycle:
+                    # Zero-latency op: a same-cycle reissue competes for the
+                    # issue budget, which only the caller's loop models.
+                    return last
+                if klass == 0:
+                    # The instruction may have scheduled an event (launch
+                    # delivery) or woken warps (barrier release, new block):
+                    # re-derive the cached bound.
+                    limit = horizon
+                    if events:
+                        e0 = events[0][0]
+                        if e0 < limit:
+                            limit = e0
+                    if heap:
+                        h0 = heap[0][0]
+                        if h0 < limit:
+                            limit = h0
+                if nxt >= limit:
+                    return last
+                cycle = nxt
+        finally:
+            stats.issued_instructions += issued
+            stats.active_lane_sum += lanes
+
+    def step_free_window(
+        self,
+        cycle: int,
+        horizon: int,
+        events: list,
+        heap: Optional[list] = None,
+        inline_mem: bool = False,
+    ) -> int:
+        """Budget-safe run-ahead: execute register-private ops at their
+        exact future issue cycles, past other warps' ready times.
+
+        Preconditions, checked by the callers in
+        :class:`~repro.sim.smx.SMX`:
+
+        * ``resident_warps <= issue_width`` on this SMX — resident warps
+          (including barrier-held ones) bound the number of same-cycle
+          issuers, so the issue budget can never bind and every warp
+          issues exactly at its own ready cycle, independent of all
+          others;
+        * GTO scheduling — warp ages are never rewritten, so running
+          this warp's ops out of global issue order cannot perturb the
+          heap's tie-breaking;
+        * no tracer and no sanitizer — both observe the global
+          interleaving, which run-ahead reorders (per-instruction cycles
+          stay exact, only callback order changes);
+        * ``alu_latency >= 1`` and ``sfu_latency >= 1`` — private ops
+          then always advance time, so at most one issue per cycle can
+          bypass the caller's per-pop budget counting.
+
+        Under those conditions an op whose decoded closure touches only
+        this warp's registers, divergence stack and additive stats
+        counters (the decode marks such pcs ``private``) commutes with
+        every other warp's execution, so it runs as soon as its issue
+        cycle is known, bounded only by the next GPU event and
+        ``horizon`` (events can add blocks, breaking the preconditions).
+        The first op — popped due by the caller — always executes; after
+        that the window stops *before* the next shared-state op (memory
+        system, barrier, exit, device launches, reference fallbacks),
+        leaving ``ready_cycle`` at that op's issue time so the warp
+        re-enters the scheduler heap and the op executes when this warp
+        is again the globally next issuer.  Fused superblock regions
+        (all-private by construction) run whole whenever they fit under
+        the bound.  Returns the last executed issue cycle; the caller
+        does *not* advance ``gpu.cycle`` to it — global time still
+        advances pop-to-pop, so earlier-due warps keep their exact
+        issue cycles.
+
+        With ``inline_mem`` (burst mode only: this SMX is the sole
+        runnable one, so every other memory client is bounded below by
+        ``heap[0][0]``, the next event, or the burst horizon), native
+        global-memory ops (decode klass 2) also run mid-window as long
+        as their issue cycle is strictly below ``min(hard,
+        heap[0][0])`` — that keeps every memory-system access in global
+        time order, which the DRAM controller's arrival bookkeeping and
+        cache LRU state require.  The caller additionally guarantees
+        ``l1_hit_latency >= 1`` and ``l2_hit_latency >= 1`` so inlined
+        loads and atomics always advance time (stores complete at
+        ``alu_latency``, already bounded by the base preconditions).
+        """
+        stats = self._stats
+        table = self._table
+        alu_lat = self._alu_lat
+        sfu_lat = self._sfu_lat
+        stack = self.stack
+        last = cycle
+        first = True
+        # Private and inlined-memory ops never schedule events, so the
+        # event bound is loop-invariant except across the (single
+        # possible) klass-0 first op; cache it.
+        hard = horizon
+        if events:
+            e0 = events[0][0]
+            if e0 < hard:
+                hard = e0
+        # Issue counters accumulate in locals and flush once per window
+        # (the finally keeps them exact if a decoded closure raises, as
+        # the per-op path counted each op before executing it).
+        issued = 0
+        lanes = 0
+        try:
+            while True:
+                frame = stack[-1]
+                while len(stack) > 1 and frame[1] >= 0 and frame[0] == frame[1]:
+                    stack.pop()
+                    frame = stack[-1]
+                pc = frame[0]
+                if not first and cycle >= hard:
+                    return last
+                try:
+                    run, op, klass, region = table[pc]
+                except IndexError:
+                    raise ExecutionError(
+                        f"warp ran off the end of kernel {self.tb.func.name!r} "
+                        f"at pc={pc}"
+                    ) from None
+                if region is not None and frame[4]:
+                    # Preconditions already guarantee no sanitizer and
+                    # latencies >= 1, so a row-carried region always fuses.
+                    end = cycle + region.n_alu * alu_lat + region.n_sfu * sfu_lat
+                    if end <= hard:
+                        n = region.length
+                        issued += n
+                        lanes += n * frame[3]
+                        c = cycle
+                        for run in region.runs:
+                            run(self, frame, c)
+                            c = self.ready_cycle
+                        frame[0] = pc + n
+                        last = end - (sfu_lat if region.sfu_flags[-1] else alu_lat)
+                        if end < hard:
+                            cycle = end
+                            first = False
+                            continue
+                        return last
+                if not first and klass != 1:
+                    if klass != 2 or not inline_mem:
+                        # The next op touches shared state: it must execute
+                        # in global time order, i.e. on this warp's next
+                        # pop.  Its issue time is already in ready_cycle.
+                        return last
+                    order = hard
+                    if heap:
+                        h0 = heap[0][0]
+                        if h0 < order:
+                            order = h0
+                    if cycle >= order:
+                        # Another warp (or event) may touch the memory
+                        # system first — defer to the next pop.
+                        return last
+                issued += 1
+                lanes += frame[3]
+                if not run(self, frame, cycle):
+                    frame[0] = pc + 1
+                last = cycle
+                if self.finished or self.at_barrier:
+                    return last
+                nxt = self.ready_cycle
+                if nxt <= cycle:
+                    # Zero-latency (first) op: a same-cycle reissue competes
+                    # for the issue budget, which the caller counts per pop.
+                    return last
+                cycle = nxt
+                first = False
+                if klass == 0:
+                    # A klass-0 first op (launch/fallback) may have scheduled
+                    # an event inside the window; refresh the cached bound.
+                    hard = horizon
+                    if events:
+                        e0 = events[0][0]
+                        if e0 < hard:
+                            hard = e0
+        finally:
+            stats.issued_instructions += issued
+            stats.active_lane_sum += lanes

@@ -24,6 +24,7 @@ from .hwq import HostLaunchSpec
 from .kernel import KernelFunction, as_dims
 from .kernel_distributor import KernelDistributor
 from .kmu import DeviceLaunchSpec, KernelManagementUnit
+from .profiler import active_profiler
 from .smx import SMX
 from .smx_scheduler import SMXScheduler
 from .stats import LaunchKind, LaunchRecord, SimStats
@@ -130,7 +131,9 @@ class GPU:
         self.smxs: List[SMX] = [SMX(i, self) for i in range(self.config.num_smx)]
         self.cycle = 0
         #: Optional execution tracer (see :mod:`repro.sim.tracing`).
-        self.tracer = None
+        #: Starts as the process-global profiler when one is active
+        #: (``--profile``; see :mod:`repro.sim.profiler`), else ``None``.
+        self.tracer = active_profiler()
         #: Optional execution sanitizer (see :mod:`repro.sim.sanitizer`):
         #: enabled via ``GPUConfig.sanitize`` or the ``REPRO_SANITIZE``
         #: environment variable; ``None`` otherwise (zero per-issue cost
@@ -151,6 +154,11 @@ class GPU:
         #: no-ops its tick and re-derives its true next-ready cycle.
         self.fast_core = bool(self.config.fast_core)
         self._smx_ready_at: List[int] = [_FAR_FUTURE] * self.config.num_smx
+        #: Fast core: the single GPU-wide ready heap.  Entries are
+        #: ``(sched, smx_id, ready, age, warp)`` — see :meth:`_run_fast`
+        #: for the key's ordering contract.  ``None`` under the
+        #: reference core, which keeps per-SMX heaps and polls them.
+        self._gheap: Optional[list] = [] if self.fast_core else None
         # Per-SMX local-memory arenas, allocated lazily on first use.
         self._local_arenas: List[Optional[int]] = [None] * self.config.num_smx
 
@@ -251,64 +259,151 @@ class GPU:
         return self._run_reference(max_cycles)
 
     def _run_fast(self, max_cycles: Optional[int]) -> SimStats:
-        """Event-driven loop: tick only the SMXs whose wake-up is due.
+        """Event-driven loop over one GPU-wide ready heap.
 
-        Same-cycle SMXs tick in ascending ``smx_id`` — the order the
-        reference loop's ``for smx in smxs`` imposes — because DRAM
-        bank/row and L2 LRU state depend on access order.  When exactly
-        one SMX is runnable (the common case for these workloads), its
-        issue loop runs as a local burst (:meth:`SMX.burst`) without
-        round-tripping through this loop each cycle.
+        Heap entries are ``(sched, smx_id, ready, age, warp)``.
+        ``sched`` is the earliest cycle the entry may issue — later than
+        ``ready`` only when an issue-budget conflict deferred the warp —
+        and the tuple order reproduces the reference loop exactly:
+        visited cycles ascending, same-cycle SMXs in ascending
+        ``smx_id`` (the ``for smx in smxs`` order; DRAM bank/row and L2
+        LRU state depend on access order), same-SMX warps by ``(ready,
+        age)`` (the per-SMX GTO heap key), and at most ``issue_width``
+        issues per SMX per visited cycle.
+
+        Each popped warp executes through one of the window forms of
+        :class:`~repro.sim.fast_warp.FastWarp`, bounded by the heap head
+        and the event queue.  Because the heap covers every runnable
+        warp on every SMX, the sole-actor window (which advances
+        ``self.cycle`` past multi-instruction spans) and budget-safe
+        run-ahead with in-order memory-op inlining apply GPU-wide — the
+        per-SMX predecessor of this loop could only prove those bounds
+        while a single SMX was runnable.
         """
         events = self._events
-        ready = self._smx_ready_at
+        gheap = self._gheap
         smxs = self.smxs
         stats = self.stats
+        cfg = self.config
         far = _FAR_FUTURE
         watchdog_horizon = far if max_cycles is None else max_cycles + 1
+        width = cfg.issue_width
+        round_robin = cfg.warp_scheduler == "rr"
+        # Budget-safe run-ahead preconditions (see FastWarp.step_free_window):
+        # GTO ages, no interleaving observers, and op latencies that always
+        # advance time so per-pop budget counting stays exact.
+        free_ok = (
+            not round_robin
+            and self.tracer is None
+            and self.sanitizer is None
+            and cfg.alu_latency >= 1
+            and cfg.sfu_latency >= 1
+        )
+        inline_mem = (
+            free_ok and cfg.l1_hit_latency >= 1 and cfg.l2_hit_latency >= 1
+        )
         n = len(smxs)
+        issue_at = [-1] * n  # last cycle each SMX issued at ...
+        issued_n = [0] * n  # ... and how many issues it made there
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        cycle = self.cycle
         while True:
-            cycle = self.cycle
+            # Visit `cycle`: deliver due events first — the reference
+            # loop drains events before any SMX ticks at a visited
+            # cycle.  Events scheduled *during* the issue loop below
+            # wait for the next visited cycle, exactly as they wait for
+            # the reference loop's next iteration.
             while events and events[0][0] <= cycle:
-                _, _, fn = heapq.heappop(events)
+                _, _, fn = heappop(events)
                 fn(cycle)
-            wake = min(ready)
-            if wake <= cycle:
-                first_id = ready.index(wake)
-                ready[first_id] = far
-                horizon = min(ready)
-                if horizon > cycle:
-                    # Single runnable SMX: burst locally, bounded by the
-                    # next event, the next other-SMX wake-up, and the
-                    # watchdog.
-                    if watchdog_horizon < horizon:
-                        horizon = watchdog_horizon
-                    cycle, nxt = smxs[first_id].burst(cycle, horizon, events)
-                    ready[first_id] = nxt if nxt is not None else far
+            # Issue every warp due at this cycle, in reference order.
+            while gheap:
+                entry = gheap[0]
+                warp = entry[4]
+                if (
+                    warp.finished
+                    or warp.at_barrier
+                    or entry[2] != warp.ready_cycle
+                ):
+                    heappop(gheap)  # stale (lazy deletion)
+                    continue
+                if entry[0] > cycle:
+                    break
+                heappop(gheap)
+                smx_id = entry[1]
+                if issue_at[smx_id] == cycle:
+                    if issued_n[smx_id] >= width:
+                        # Budget-bound: retry next cycle.  Keeping the
+                        # original ready preserves the per-SMX (ready,
+                        # age) order among deferred and fresh warps —
+                        # the order the reference heap yields at that
+                        # cycle.
+                        heappush(
+                            gheap, (cycle + 1, smx_id, entry[2], entry[3], warp)
+                        )
+                        continue
+                    issued_n[smx_id] += 1
                 else:
-                    # Several SMXs are due: restore the popped entry and
-                    # tick every due SMX in ascending id (the reference
-                    # loop's order).
-                    ready[first_id] = wake
-                    for smx_id in range(n):
-                        if ready[smx_id] <= cycle:
-                            smx = smxs[smx_id]
-                            smx.tick(cycle)
-                            nxt = smx.next_ready_cycle()
-                            ready[smx_id] = nxt if nxt is not None else far
-            next_cycle = min(ready)
+                    issue_at[smx_id] = cycle
+                    issued_n[smx_id] = 1
+                smx = smxs[smx_id]
+                if free_ok and smx.resident_warps <= width:
+                    warp.step_free_window(
+                        cycle, watchdog_horizon, events, gheap, inline_mem
+                    )
+                else:
+                    active = self.active_warps
+                    last = warp.step_window(
+                        cycle, watchdog_horizon, events, gheap
+                    )
+                    if last > cycle:
+                        # Sole-actor advance: only this warp issued over
+                        # (cycle, last], with the pre-window warp count
+                        # resident throughout (EXIT can only end a
+                        # window).  Budget counters reset lazily at the
+                        # new cycle.
+                        stats.resident_warp_cycles += active * (last - cycle)
+                        self.cycle = cycle = last
+                if not warp.finished and not warp.at_barrier:
+                    if round_robin:
+                        warp.age = next(smx._seq)
+                    heappush(
+                        gheap,
+                        (
+                            warp.ready_cycle,
+                            smx_id,
+                            warp.ready_cycle,
+                            warp.age,
+                            warp,
+                        ),
+                    )
+            # Advance to the next actionable cycle.  The issue loop left
+            # the heap head stale-free, so its sched is a tight bound.
+            next_cycle = gheap[0][0] if gheap else far
             if events and events[0][0] < next_cycle:
                 next_cycle = events[0][0]
             if next_cycle >= far:
-                # Safety net: re-derive readiness straight from the SMXs so
-                # a missed wake-up surfaces as continued progress (and gets
-                # caught by the differential tests), never a false drain.
+                # Safety net: re-derive readiness straight from the
+                # resident warps so a lost heap entry surfaces as
+                # continued progress (and gets caught by the
+                # differential tests), never a false drain.
                 rearmed = False
                 for smx in smxs:
-                    nxt = smx.next_ready_cycle()
-                    if nxt is not None:
-                        ready[smx.smx_id] = nxt
-                        rearmed = True
+                    for tb in smx.blocks:
+                        for w in tb.warps:
+                            if not w.finished and not w.at_barrier:
+                                heappush(
+                                    gheap,
+                                    (
+                                        w.ready_cycle,
+                                        smx.smx_id,
+                                        w.ready_cycle,
+                                        w.age,
+                                        w,
+                                    ),
+                                )
+                                rearmed = True
                 if rearmed:
                     continue
                 if self._has_inflight_work():
@@ -324,7 +419,7 @@ class GPU:
                     f"watchdog: simulation exceeded {max_cycles} cycles"
                 )
             stats.resident_warp_cycles += self.active_warps * (next_cycle - cycle)
-            self.cycle = next_cycle
+            self.cycle = cycle = next_cycle
         stats.cycles = self.cycle
         return stats
 

@@ -117,10 +117,17 @@ class SMX:
         self.blocks.append(tb)
         self.resident_warps += len(tb.warps)
         self.gpu.active_warps += len(tb.warps)
+        gheap = self.gpu._gheap
+        smx_id = self.smx_id
         for warp in tb.warps:
             warp.ready_cycle = start_cycle
             warp.age = next(self._seq)
-            heapq.heappush(self._ready_heap, (start_cycle, warp.age, warp))
+            if gheap is not None:
+                heapq.heappush(
+                    gheap, (start_cycle, smx_id, start_cycle, warp.age, warp)
+                )
+            else:
+                heapq.heappush(self._ready_heap, (start_cycle, warp.age, warp))
         self.gpu._notify_smx_ready(self.smx_id, start_cycle)
         return tb
 
@@ -129,7 +136,14 @@ class SMX:
     # ------------------------------------------------------------------
     def requeue_warp(self, warp: Warp) -> None:
         """Re-arm a warp released from a barrier."""
-        heapq.heappush(self._ready_heap, (warp.ready_cycle, warp.age, warp))
+        gheap = self.gpu._gheap
+        if gheap is not None:
+            heapq.heappush(
+                gheap,
+                (warp.ready_cycle, self.smx_id, warp.ready_cycle, warp.age, warp),
+            )
+        else:
+            heapq.heappush(self._ready_heap, (warp.ready_cycle, warp.age, warp))
         self.gpu._notify_smx_ready(self.smx_id, warp.ready_cycle)
 
     def warp_retired(self, warp: Warp, cycle: int) -> None:
@@ -194,58 +208,3 @@ class SMX:
                 continue
             return ready_cycle
         return None
-
-    def burst(self, cycle: int, horizon: int, events: list):
-        """Fast core only: run this SMX's issue loop locally until it goes
-        idle, an event falls due, or another SMX's wake-up (``horizon``)
-        is reached.
-
-        Legal only while this SMX is the sole runnable one: nothing can
-        make another SMX runnable without going through the GPU event
-        queue (block distribution and KMU dispatch are event-driven), so
-        checking ``events`` each advance preserves the reference
-        interleaving exactly.  Advances ``gpu.cycle`` and integrates the
-        occupancy statistic for the cycles it consumes; returns
-        ``(cycle_reached, next_ready_or_None)``.
-        """
-        gpu = self.gpu
-        stats = gpu.stats
-        heap = self._ready_heap
-        budget = self._cfg.issue_width
-        round_robin = self._cfg.warp_scheduler == "rr"
-        heappop = heapq.heappop
-        heappush = heapq.heappush
-        while True:
-            # Issue stage: semantically identical to tick(cycle).
-            issued = 0
-            while heap and issued < budget:
-                ready_cycle, age, warp = heap[0]
-                if warp.finished or warp.at_barrier or ready_cycle != warp.ready_cycle:
-                    heappop(heap)
-                    continue
-                if ready_cycle > cycle:
-                    break
-                heappop(heap)
-                warp.step(cycle)
-                issued += 1
-                if not warp.finished and not warp.at_barrier:
-                    if round_robin:
-                        warp.age = next(self._seq)
-                    heappush(heap, (warp.ready_cycle, warp.age, warp))
-            # Earliest next issue (lazy deletion, as next_ready_cycle).
-            nxt = None
-            while heap:
-                ready_cycle, age, warp = heap[0]
-                if warp.finished or warp.at_barrier or ready_cycle != warp.ready_cycle:
-                    heappop(heap)
-                    continue
-                nxt = ready_cycle
-                break
-            if nxt is None:
-                return cycle, None
-            if nxt <= cycle:
-                nxt = cycle + 1
-            if nxt >= horizon or (events and events[0][0] <= nxt):
-                return cycle, nxt
-            stats.resident_warp_cycles += gpu.active_warps * (nxt - cycle)
-            gpu.cycle = cycle = nxt

@@ -18,6 +18,7 @@ import collections
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
+from ..config import WARP_SIZE
 from ..isa.instructions import Opcode
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,6 +30,23 @@ class Tracer:
 
     def on_issue(self, warp: "Warp", pc: int, opcode: Opcode, active: int, cycle: int) -> None:
         raise NotImplementedError
+
+    def on_fused(self, warp: "Warp", pc: int, region, cycle: int) -> None:
+        """A fused superblock region executed in one call (fast core).
+
+        The default replays the region as per-instruction
+        :meth:`on_issue` callbacks at the exact cycles unfused execution
+        would have issued them (fusion only runs with a full mask, so
+        ``active`` is the warp width), keeping every subclass's output
+        identical whether or not fusion engaged.  Profilers that want to
+        see regions as units override this instead.
+        """
+        alu = warp._alu_lat
+        sfu = warp._sfu_lat
+        c = cycle
+        for i, opcode in enumerate(region.ops):
+            self.on_issue(warp, pc + i, opcode, WARP_SIZE, c)
+            c += sfu if region.sfu_flags[i] else alu
 
 
 @dataclass

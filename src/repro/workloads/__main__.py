@@ -17,8 +17,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+import json
+
 from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepEngine, SweepJob, execute_job
 from ..runtime import ExecutionMode
+from ..sim import profiler as _profiler
 from ..sim.stats import SimStats
 from .registry import benchmark_names
 
@@ -45,6 +48,13 @@ def main(argv=None) -> int:
                         help="bypass the on-disk cache (no reads, no writes)")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         help=f"cache directory (default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the simulation hot path (issues and "
+                             "host time per opcode / fused region); forces "
+                             "--jobs 1 and bypasses the result cache")
+    parser.add_argument("--profile-json", metavar="PATH", default=None,
+                        help="write the profile report as JSON to PATH "
+                             "(implies --profile)")
     parser.add_argument("--list", action="store_true", help="list benchmarks")
     args = parser.parse_args(argv)
 
@@ -54,6 +64,16 @@ def main(argv=None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.profile_json:
+        args.profile = True
+
+    profiler = None
+    if args.profile:
+        # Only in-process simulations are observed: pin one worker and
+        # bypass the cache so every mode actually simulates here.
+        args.jobs = 1
+        args.cache = False
+        profiler = _profiler.activate()
 
     cache = ResultCache(args.cache_dir) if args.cache else None
     jobs = [
@@ -102,6 +122,14 @@ def main(argv=None) -> int:
                 print(f"   {key:18s}{value:.3f}")
             else:
                 print(f"   {key:18s}{value}")
+    if profiler is not None:
+        _profiler.deactivate()
+        print()
+        print(profiler.report())
+        if args.profile_json:
+            with open(args.profile_json, "w", encoding="utf-8") as fh:
+                json.dump(profiler.to_dict(), fh, indent=2)
+            print(f"[profile] wrote {args.profile_json}")
     return 0
 
 

@@ -90,3 +90,49 @@ class TestGeometry:
         dev.launch("coords", grid=2, block=(6, 7), params=[out])
         dev.synchronize()
         np.testing.assert_array_equal(dev.download_ints(out, n), np.arange(n) + 1000)
+
+
+class TestGeometryCache:
+    """The warp-geometry memo must stay bounded (LRU) and correct."""
+
+    def test_cache_is_bounded_lru(self):
+        from repro.sim import fast_warp
+
+        fast_warp._GEOM_CACHE.clear()
+        limit = fast_warp._GEOM_CACHE_LIMIT
+        # Insert far more distinct shapes than the cache may hold.
+        for bx in range(1, limit + 50):
+            fast_warp._geometry(bx, 1, bx, 0)
+        assert len(fast_warp._GEOM_CACHE) <= limit
+        # The newest keys survive, the oldest were evicted.
+        assert (limit + 49, 1, limit + 49, 0) in fast_warp._GEOM_CACHE
+        assert (1, 1, 1, 0) not in fast_warp._GEOM_CACHE
+
+    def test_hit_refreshes_recency(self):
+        from repro.sim import fast_warp
+
+        fast_warp._GEOM_CACHE.clear()
+        limit = fast_warp._GEOM_CACHE_LIMIT
+        for bx in range(1, limit + 1):
+            fast_warp._geometry(bx, 1, bx, 0)
+        # Touch the oldest entry, then overflow by one: the second-oldest
+        # must be the eviction victim instead.
+        fast_warp._geometry(1, 1, 1, 0)
+        fast_warp._geometry(limit + 1, 1, limit + 1, 0)
+        assert (1, 1, 1, 0) in fast_warp._GEOM_CACHE
+        assert (2, 1, 2, 0) not in fast_warp._GEOM_CACHE
+
+    def test_cached_arrays_are_immutable_and_exact(self):
+        from repro.config import WARP_SIZE
+        from repro.sim import fast_warp
+
+        fast_warp._GEOM_CACHE.clear()
+        a = fast_warp._geometry(6, 7, 42, 1)
+        b = fast_warp._geometry(6, 7, 42, 1)
+        assert a is b  # shared, not recomputed
+        init_mask, tid_x, tid_y, tid_z, clamped, active = a
+        assert active == int(init_mask.sum())
+        with pytest.raises(ValueError):
+            tid_x[0] = 99
+        linear = 1 * WARP_SIZE + np.arange(WARP_SIZE)
+        np.testing.assert_array_equal(init_mask, linear < 42)

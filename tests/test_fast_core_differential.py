@@ -196,6 +196,143 @@ class TestMicroKernelDifferential:
         assert results[0][1] == n * (n - 1) // 2
 
 
+# ----------------------------------------------------------------------
+# Fusion-adversarial differentials: programs engineered so superblock
+# fusion must bail out (divergent entry, predicated branches splitting a
+# candidate run, regions abutting reconvergence points and barriers, the
+# sanitizer forcing per-instruction fallback) while staying stat-exact.
+# ----------------------------------------------------------------------
+def _decoded_region_starts(func: KernelFunction):
+    from repro.sim.fast_warp import decode_program
+
+    _table, _ni, _nf, regions = decode_program(func.program)
+    return set(regions) if regions else set()
+
+
+def _divergent_entry_kernel() -> KernelFunction:
+    """A fused region inside a branch body: partial-mask entry whenever
+    some lanes fail the bounds predicate."""
+    k = KernelBuilder("div_entry")
+    gtid = k.gtid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    src = k.ld(param, offset=1)
+    dst = k.ld(param, offset=2)
+    with k.if_(k.lt(gtid, n)):
+        value = k.ld(k.iadd(src, gtid))
+        a = k.imul(value, 3)
+        b = k.iadd(a, 7)
+        c = k.ixor(b, gtid)
+        k.st(k.iadd(dst, gtid), c)
+    k.exit()
+    return KernelFunction("div_entry", k.build())
+
+
+def _predicated_split_kernel() -> KernelFunction:
+    """A predicated branch in the middle of an otherwise fusable ALU run
+    splits the candidate region; the masked body must stay exact."""
+    k = KernelBuilder("pred_split")
+    gtid = k.gtid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    dst = k.ld(param, offset=2)
+    a = k.iadd(gtid, 1)
+    b = k.imul(a, 5)
+    p = k.lt(k.iand(b, 7), 4)
+    with k.if_(p):
+        k.iadd(b, 1, dst=b)
+    c = k.ixor(b, a)
+    d = k.imod(c, 97)
+    with k.if_(k.lt(gtid, n)):
+        k.st(k.iadd(dst, gtid), d)
+    k.exit()
+    return KernelFunction("pred_split", k.build())
+
+
+def _reconv_barrier_kernel() -> KernelFunction:
+    """Fusable runs starting exactly at a reconvergence pc and abutting a
+    barrier on both sides."""
+    k = KernelBuilder("reconv_bar")
+    gtid = k.gtid()
+    tid = k.tid()
+    param = k.param()
+    n = k.ld(param, offset=0)
+    src = k.ld(param, offset=1)
+    dst = k.ld(param, offset=2)
+    with k.if_(k.lt(k.iand(gtid, 3), 2)):
+        k.sts(tid, gtid)
+    # Reconvergence point: a fusable run starts at the join pc.
+    a = k.imul(gtid, 7)
+    b = k.iadd(a, 11)
+    k.bar()
+    # Run immediately after the barrier.
+    c = k.ixor(b, tid)
+    d = k.iand(c, 1023)
+    with k.if_(k.lt(gtid, n)):
+        k.st(k.iadd(dst, gtid), k.iadd(d, k.ld(k.iadd(src, gtid))))
+    k.exit()
+    return KernelFunction("reconv_bar", k.build(), shared_words=64)
+
+
+class TestFusionAdversarial:
+    def test_divergent_entry(self):
+        # n=500 with block 64: the last block enters the region with a
+        # partial mask, every other block with a full one.
+        fast, out_fast = _run_kernel(_divergent_entry_kernel(), True, n=500)
+        ref, out_ref = _run_kernel(_divergent_entry_kernel(), False, n=500)
+        assert fast == ref
+        np.testing.assert_array_equal(out_fast, out_ref)
+
+    def test_predicated_branch_splits_region(self):
+        func = _predicated_split_kernel()
+        starts = _decoded_region_starts(func)
+        assert len(starts) >= 2, "the predicated branch should split the run"
+        fast, out_fast = _run_kernel(_predicated_split_kernel(), True)
+        ref, out_ref = _run_kernel(_predicated_split_kernel(), False)
+        assert fast == ref
+        np.testing.assert_array_equal(out_fast, out_ref)
+
+    def test_regions_abutting_reconvergence_and_barrier(self):
+        func = _reconv_barrier_kernel()
+        reconv_pcs = {
+            instr.reconv
+            for instr in func.program.instructions
+            if isinstance(instr.reconv, int)
+        }
+        starts = _decoded_region_starts(func)
+        # The builder materializes the reconvergence point as a JOIN (not
+        # fusable), so the adjacent region starts right behind it.
+        assert starts & {pc + 1 for pc in reconv_pcs}, (
+            "a region should start immediately after a reconv pc"
+        )
+        fast, out_fast = _run_kernel(_reconv_barrier_kernel(), True, n=200)
+        ref, out_ref = _run_kernel(_reconv_barrier_kernel(), False, n=200)
+        assert fast == ref
+        np.testing.assert_array_equal(out_fast, out_ref)
+
+    @pytest.mark.parametrize(
+        "make", [_divergent_entry_kernel, _reconv_barrier_kernel],
+        ids=["div_entry", "reconv_bar"],
+    )
+    def test_sanitize_forces_fallback_identical_reports(self, make):
+        """sanitize=True disables fusion; stats AND SanitizerReports must
+        stay identical between the two cores."""
+        results = []
+        for fast in (True, False):
+            dev = Device(config=_config(fast), sanitize=True)
+            dev.register(make())
+            n = 300
+            data = dev.upload(np.arange(n, dtype=np.int64) % 97)
+            out = dev.alloc(n)
+            dev.launch(make().name, grid=5, block=64, params=[n, data, out])
+            dev.synchronize()
+            report = dev.sanitizer_report()
+            results.append(
+                (fingerprint(dev.stats), report.format(), dict(report.counts))
+            )
+        assert results[0] == results[1]
+
+
 def test_fast_core_is_default():
     assert GPUConfig().fast_core is True
     assert GPUConfig.k20c().fast_core is True

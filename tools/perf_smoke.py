@@ -10,6 +10,10 @@ more than the baseline's ``max_regression`` fraction.
 Refresh the baseline after intentional perf changes::
 
     PYTHONPATH=src python tools/perf_smoke.py --update
+
+``--update`` also appends the measured wall-clock to ``BENCH_fig11.json``
+at the repo root — the suite's perf trajectory, one entry per refresh
+(i.e. per perf-relevant PR), oldest first.
 """
 
 from __future__ import annotations
@@ -23,6 +27,22 @@ import time
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 BASELINE = REPO / "benchmarks" / "perf_baseline.json"
+TRAJECTORY = REPO / "BENCH_fig11.json"
+
+
+def record_trajectory(elapsed: float) -> None:
+    """Append one suite timing to the perf trajectory file."""
+    if TRAJECTORY.exists():
+        doc = json.loads(TRAJECTORY.read_text())
+    else:
+        doc = {
+            "description": "Fig. 11 benchmark-suite wall-clock trajectory "
+                           "(seconds; appended by tools/perf_smoke.py "
+                           "--update, oldest first)",
+            "runs": [],
+        }
+    doc["runs"].append(round(elapsed, 1))
+    TRAJECTORY.write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def run_suite() -> float:
@@ -54,7 +74,9 @@ def main() -> int:
     if args.update:
         baseline["seconds"] = round(elapsed, 1)
         BASELINE.write_text(json.dumps(baseline, indent=2) + "\n")
-        print(f"perf smoke: baseline updated to {baseline['seconds']}s")
+        record_trajectory(elapsed)
+        print(f"perf smoke: baseline updated to {baseline['seconds']}s "
+              f"(appended to {TRAJECTORY.name})")
         return 0
 
     if elapsed > limit:
