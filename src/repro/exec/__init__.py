@@ -14,9 +14,18 @@ Three layers, composed by the harness (:mod:`repro.harness.runner`):
 
 ``fingerprint -> cache -> pool``: a requested job is fingerprinted, the
 cache is consulted, and only misses are simulated — in parallel.
+
+:mod:`repro.exec.cli` holds the argparse flags both command-line entry
+points share, including ``--checkpoint-every``/``--resume`` backed by
+:mod:`repro.state`.
 """
 
 from .cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from .cli import (
+    DEFAULT_CHECKPOINT_DIR,
+    add_execution_flags,
+    validate_execution_flags,
+)
 from .fingerprint import CODE_VERSION, SweepJob, canonical_json, digest
 from .pool import (
     EngineStats,
@@ -29,6 +38,7 @@ from .pool import (
 __all__ = [
     "CODE_VERSION",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_CHECKPOINT_DIR",
     "CacheStats",
     "EngineStats",
     "ProgressEvent",
@@ -36,7 +46,9 @@ __all__ = [
     "SweepEngine",
     "SweepError",
     "SweepJob",
+    "add_execution_flags",
     "canonical_json",
     "digest",
     "execute_job",
+    "validate_execution_flags",
 ]

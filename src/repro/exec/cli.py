@@ -1,0 +1,91 @@
+"""Shared execution flags for the two command-line entry points.
+
+``python -m repro.harness`` and ``python -m repro.workloads`` expose the
+same execution surface — worker processes, the on-disk result cache, the
+hot-path profiler, and checkpoint/resume — and used to duplicate the
+argparse wiring.  This module is the single definition: both CLIs call
+:func:`add_execution_flags` to declare the flags and
+:func:`validate_execution_flags` to apply the shared consistency rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from .cache import DEFAULT_CACHE_DIR
+
+#: Default directory for ``--checkpoint-every`` / ``--resume`` state.
+DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
+
+def add_execution_flags(
+    parser: argparse.ArgumentParser, profile_json: bool = False
+) -> None:
+    """Declare the execution flags shared by both CLIs.
+
+    ``profile_json`` additionally declares ``--profile-json`` (only the
+    workloads CLI exposes a JSON profile report).
+    """
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulation sweep "
+                             "(default 1: in-process)")
+    parser.add_argument("--cache", dest="cache", action="store_true",
+                        default=True,
+                        help="persist results in the on-disk cache (default)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="bypass the on-disk cache entirely "
+                             "(no reads, no writes)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"cache directory (default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the simulation hot path (issues and "
+                             "host time per opcode / fused region); forces "
+                             "--jobs 1 and bypasses the result cache")
+    if profile_json:
+        parser.add_argument("--profile-json", metavar="PATH", default=None,
+                            help="write the profile report as JSON to PATH "
+                                 "(implies --profile)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="CYCLES",
+                        help="checkpoint each simulation's full state every "
+                             "CYCLES simulated cycles; crashed or timed-out "
+                             "jobs resume from their last checkpoint")
+    parser.add_argument("--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
+                        help="checkpoint directory (default "
+                             f"{DEFAULT_CHECKPOINT_DIR})")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume interrupted simulations from existing "
+                             "checkpoints in --checkpoint-dir (stale or "
+                             "corrupt files are quarantined and the run "
+                             "starts fresh)")
+
+
+def validate_execution_flags(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> Optional[str]:
+    """Apply the shared consistency rules; returns the checkpoint dir.
+
+    Returns the effective checkpoint directory — ``None`` unless
+    checkpointing or resuming was requested — after validating that
+
+    * ``--jobs`` is positive,
+    * ``--checkpoint-every`` is positive when given, and
+    * ``--profile`` is not combined with checkpointing (the profiler's
+      tracer state is not serializable, so a checkpoint would refuse to
+      capture mid-run).
+    """
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        parser.error("--checkpoint-every must be >= 1")
+    if getattr(args, "profile_json", None):
+        args.profile = True
+    if args.profile and (args.checkpoint_every or args.resume):
+        parser.error(
+            "--profile cannot be combined with --checkpoint-every/--resume: "
+            "profiler state is not checkpointable"
+        )
+    if args.checkpoint_every or args.resume:
+        return args.checkpoint_dir
+    return None

@@ -55,19 +55,44 @@ class SweepError(RuntimeError):
     """The engine could not complete a sweep (fallback disabled)."""
 
 
-def execute_job(job: SweepJob) -> dict:
+def execute_job(
+    job: SweepJob,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    on_checkpoint=None,
+) -> dict:
     """Run one simulation in the current process; JSON-safe payload.
 
     This is the single execution path behind the serial runner, the pool
     workers and the in-process fallback, which is what makes the three
-    bit-identical.
+    bit-identical.  With ``checkpoint_dir`` set, the job checkpoints to
+    ``<dir>/<fingerprint>.ckpt`` every ``checkpoint_every`` cycles, and
+    ``resume=True`` continues from such a file when one exists (stale or
+    corrupt files are quarantined and the job restarts).  Because the
+    simulation is deterministic and a restore is bit-identical, the
+    resumed payload equals an uninterrupted run's.
     """
     from ..workloads import get_benchmark
 
+    checkpoint_path = None
+    fingerprint = None
+    if checkpoint_dir is not None:
+        from ..state import checkpoint_path_for
+
+        fingerprint = job.fingerprint()
+        checkpoint_path = str(checkpoint_path_for(checkpoint_dir, fingerprint))
     workload = get_benchmark(job.benchmark, job.mode, job.scale)
     start = time.perf_counter()
     result = workload.execute(
-        config=job.config, latency_scale=job.latency_scale, verify=job.verify
+        config=job.config,
+        latency_scale=job.latency_scale,
+        verify=job.verify,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        on_checkpoint=on_checkpoint,
+        checkpoint_fingerprint=fingerprint,
     )
     return {
         "stats": result.stats.to_dict(),
@@ -96,10 +121,48 @@ def _test_fault_hook(job: SweepJob) -> None:
     os._exit(3)
 
 
-def _worker_entry(job: SweepJob) -> dict:
-    """What pool workers run: fault hook (tests) + the real execution."""
+def _test_ckpt_crash_hook():
+    """Kill-after-first-checkpoint injection for crash-recovery tests.
+
+    ``REPRO_EXEC_TEST_CRASH_AFTER_CKPT`` names a sentinel file: the first
+    checkpoint written by any worker creates it and kills the process
+    *after* the checkpoint file landed on disk; subsequent attempts see
+    the sentinel and run to completion (resuming from that checkpoint).
+    """
+    sentinel = os.environ.get("REPRO_EXEC_TEST_CRASH_AFTER_CKPT")
+    if not sentinel:
+        return None
+
+    def on_checkpoint(doc) -> None:
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return
+        os.close(fd)
+        os._exit(3)
+
+    return on_checkpoint
+
+
+def _worker_entry(
+    job: SweepJob,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
+) -> dict:
+    """What pool workers run: fault hooks (tests) + the real execution.
+
+    Workers always attempt to resume when a checkpoint directory is
+    configured: a retried job whose previous worker crashed or timed out
+    picks up from its last checkpoint instead of restarting.
+    """
     _test_fault_hook(job)
-    return execute_job(job)
+    return execute_job(
+        job,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume=checkpoint_dir is not None,
+        on_checkpoint=_test_ckpt_crash_hook(),
+    )
 
 
 @dataclass
@@ -149,6 +212,8 @@ class SweepEngine:
         fallback: bool = True,
         mp_context=None,
         executor_factory=None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -156,6 +221,13 @@ class SweepEngine:
         self.job_timeout = job_timeout
         self.max_retries = max_retries
         self.fallback = fallback
+        #: With a checkpoint directory set, workers checkpoint their job
+        #: every ``checkpoint_every`` cycles and every (re)attempt —
+        #: including the in-process fallback — resumes from the last
+        #: checkpoint, so a crashed or timed-out job loses at most one
+        #: checkpoint interval of simulation within its retry budget.
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
         self._mp_context = mp_context
         self._executor_factory = executor_factory or self._default_factory
         self.stats = EngineStats()
@@ -227,7 +299,13 @@ class SweepEngine:
                 ))
 
         def run_local(index: int, attempts_used: int) -> None:
-            finish(index, execute_job(jobs[index]), "in-process", attempts_used)
+            payload = execute_job(
+                jobs[index],
+                checkpoint_every=self.checkpoint_every,
+                checkpoint_dir=self.checkpoint_dir,
+                resume=self.checkpoint_dir is not None,
+            )
+            finish(index, payload, "in-process", attempts_used)
 
         if self.max_workers == 1:
             for i in range(total):
@@ -314,7 +392,12 @@ class SweepEngine:
                 while queue and len(inflight) < self.max_workers:
                     index = queue.popleft()
                     try:
-                        future = pool.submit(_worker_entry, jobs[index])
+                        future = pool.submit(
+                            _worker_entry,
+                            jobs[index],
+                            self.checkpoint_every,
+                            self.checkpoint_dir,
+                        )
                     except Exception:
                         queue.appendleft(index)
                         rebuild_pool(False, "submit failed")

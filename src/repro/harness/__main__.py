@@ -8,9 +8,12 @@ Usage::
     python -m repro.harness --scale 0.25         # quick, scaled-down pass
     python -m repro.harness --figure 11          # a single figure
     python -m repro.harness --no-cache           # ignore .repro-cache/
+    python -m repro.harness --checkpoint-every 2000000 --resume
 
 Results persist in a content-addressed on-disk cache (``--cache-dir``,
 default ``.repro-cache/``): a warm rerun of any figure simulates nothing.
+``--checkpoint-every`` snapshots long simulations periodically so an
+interrupted sweep can ``--resume`` from where it stopped.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from .experiments import (
     table3_latency,
     table4_benchmarks,
 )
-from ..exec import DEFAULT_CACHE_DIR, ResultCache
+from ..exec import ResultCache, add_execution_flags, validate_execution_flags
 from ..sim import profiler as _profiler
 from .runner import DEFAULT_LATENCY_SCALE, run_grid
 
@@ -72,26 +75,11 @@ def main(argv=None) -> int:
                         help="run every simulation with the execution "
                              "sanitizer (race/OOB/uninit/barrier/launch "
                              "checks); any finding fails the run")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for the simulation sweep "
-                             "(default 1: in-process)")
-    parser.add_argument("--cache", dest="cache", action="store_true",
-                        default=True,
-                        help="persist results in the on-disk cache (default)")
-    parser.add_argument("--no-cache", dest="cache", action="store_false",
-                        help="bypass the on-disk cache entirely "
-                             "(no reads, no writes)")
-    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
-                        help=f"cache directory (default {DEFAULT_CACHE_DIR})")
-    parser.add_argument("--profile", action="store_true",
-                        help="profile the simulation hot path (issues and "
-                             "host time per opcode / fused region); forces "
-                             "--jobs 1 and bypasses the result cache")
+    add_execution_flags(parser)
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)
 
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
+    checkpoint_dir = validate_execution_flags(parser, args)
     profiler = None
     if args.profile:
         # Only in-process simulations are observed: pin one worker and
@@ -119,6 +107,8 @@ def main(argv=None) -> int:
             or ["bht", "regx_string", "amr", "bfs_citation"],
             jobs=args.jobs,
             cache=cache,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
         )
         for experiment in experiments:
             print()
@@ -135,6 +125,8 @@ def main(argv=None) -> int:
                 verbose=verbose,
                 jobs=args.jobs,
                 cache=cache,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
             ).render()
         )
     elif args.figure in _GRID_FIGURES:
@@ -145,6 +137,8 @@ def main(argv=None) -> int:
             verbose=verbose,
             jobs=args.jobs,
             cache=cache,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
         )
         print(_GRID_FIGURES[args.figure](grid).render())
     else:

@@ -294,6 +294,8 @@ def figure12_agt_sensitivity(
     verbose: bool = False,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
 ) -> Experiment:
     """Fig. 12: DTBL performance sensitivity to the AGT size.
 
@@ -311,7 +313,10 @@ def figure12_agt_sensitivity(
         for name in names
         for size in sizes
     ]
-    runs = run_jobs(specs, jobs=jobs, cache=cache)
+    runs = run_jobs(
+        specs, jobs=jobs, cache=cache,
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+    )
     cycles_by_name: Dict[str, Dict[int, int]] = {name: {} for name in names}
     for spec, run in zip(specs, runs):
         cycles_by_name[spec.benchmark][spec.config.agt_entries] = run.cycles
@@ -379,15 +384,20 @@ def run_all_figures(
     agt_benchmarks: Optional[Sequence[str]] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
 ) -> List[Experiment]:
     """Regenerate every table and figure; returns them in paper order.
 
     ``jobs`` parallelizes the underlying sweeps across worker processes;
-    ``cache`` persists every simulation result on disk.
+    ``cache`` persists every simulation result on disk;
+    ``checkpoint_every``/``checkpoint_dir`` checkpoint long simulations
+    for crash recovery (see :func:`repro.harness.runner.run_jobs`).
     """
     grid = run_grid(
         benchmarks=benchmarks, scale=scale, latency_scale=latency_scale,
         verbose=verbose, jobs=jobs, cache=cache,
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
     )
     experiments = [
         table2_configuration(),
@@ -402,6 +412,7 @@ def run_all_figures(
         figure12_agt_sensitivity(
             benchmarks=agt_benchmarks, scale=scale, latency_scale=latency_scale,
             verbose=verbose, jobs=jobs, cache=cache,
+            checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
         ),
         overhead_analysis(),
     ]

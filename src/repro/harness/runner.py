@@ -136,6 +136,8 @@ def run_jobs(
     use_memo: bool = True,
     verbose: bool = False,
     engine: Optional[SweepEngine] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
 ) -> List[BenchmarkRun]:
     """Resolve each job through memo -> disk cache -> (pool | in-process).
 
@@ -143,6 +145,11 @@ def run_jobs(
     one call, duplicate fingerprints are simulated once.  ``engine``
     overrides the default :class:`SweepEngine` (tests inject fault
     configurations through it); it is only consulted when ``jobs > 1``.
+
+    With ``checkpoint_dir`` set, simulations checkpoint their state every
+    ``checkpoint_every`` cycles under ``<dir>/<fingerprint>.ckpt`` and
+    every attempt — serial, worker, retry or fallback — resumes from an
+    existing checkpoint (see :mod:`repro.state`).
     """
     runs: Dict[int, BenchmarkRun] = {}
     keys = [job.fingerprint() for job in specs]
@@ -183,7 +190,11 @@ def run_jobs(
     if todo:
         todo_jobs = [specs[i] for i in todo]
         if jobs > 1:
-            engine = engine or SweepEngine(max_workers=jobs)
+            engine = engine or SweepEngine(
+                max_workers=jobs,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+            )
 
             def on_event(event: ProgressEvent) -> None:
                 if not verbose:
@@ -207,7 +218,12 @@ def run_jobs(
         else:
             payloads = []
             for job in todo_jobs:
-                payload = execute_job(job)
+                payload = execute_job(
+                    job,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=checkpoint_dir is not None,
+                )
                 payloads.append(payload)
                 if verbose:
                     _print_run(job, _run_from_payload(job, payload))
@@ -260,11 +276,15 @@ def run_grid(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     engine: Optional[SweepEngine] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
 ) -> GridResults:
     """Simulate the full (benchmark x mode) grid.
 
     ``jobs > 1`` fans cache misses out over that many worker processes;
-    ``cache`` persists results on disk so a warm rerun simulates nothing.
+    ``cache`` persists results on disk so a warm rerun simulates nothing;
+    ``checkpoint_every``/``checkpoint_dir`` enable mid-run checkpointing
+    with resume-on-retry (see :func:`run_jobs`).
     """
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     specs = [
@@ -276,7 +296,8 @@ def run_grid(
     ]
     grid = GridResults()
     for run in run_jobs(
-        specs, jobs=jobs, cache=cache, verbose=verbose, engine=engine
+        specs, jobs=jobs, cache=cache, verbose=verbose, engine=engine,
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
     ):
         grid.add(run)
     return grid

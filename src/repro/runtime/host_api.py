@@ -421,6 +421,30 @@ class Device:
         self._check_open()
         self.gpu.tracer = tracer
 
+    def configure_checkpoint(
+        self,
+        every: Optional[int],
+        path=None,
+        on_checkpoint=None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        """Enable periodic state checkpointing (see :mod:`repro.state`).
+
+        Every ``every`` simulated cycles the full simulator state is
+        captured and written atomically to ``path`` (when given) and/or
+        passed to ``on_checkpoint(document)``.  The configuration lives on
+        the device so it covers every internal ``synchronize()`` a
+        workload driver performs, not just one call.  ``fingerprint``
+        stamps the files so a sweep job never resumes from another job's
+        checkpoint.  Pass ``every=None`` to disable.
+        """
+        self._check_open()
+        gpu = self.gpu
+        gpu._checkpoint_every = every
+        gpu._checkpoint_path = path
+        gpu._on_checkpoint = on_checkpoint
+        gpu._checkpoint_fingerprint = fingerprint
+
     # ------------------------------------------------------------------
     # Named cycle markers (legacy cudaEvent-style API; prefer the Event
     # handles returned by launch())

@@ -10,7 +10,6 @@ statistic over the skipped interval.
 from __future__ import annotations
 
 import heapq
-import itertools
 import os
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -41,14 +40,16 @@ class DeviceRuntime:
 
     def __init__(self, gpu: "GPU") -> None:
         self._gpu = gpu
-        self._stream_counter = itertools.count(1)
+        # Plain int counter (not itertools.count) so checkpoints can
+        # serialize and restore it exactly.
+        self._stream_counter = 1
         self._param_sizes: Dict[int, int] = {}
 
     def create_streams(self, count: int) -> np.ndarray:
         """Allocate ``count`` device-side stream ids (functional only)."""
-        return np.fromiter(
-            (next(self._stream_counter) for _ in range(count)), dtype=np.int64, count=count
-        )
+        start = self._stream_counter
+        self._stream_counter = start + count
+        return np.arange(start, start + count, dtype=np.int64)
 
     def alloc_param_buffers(self, count: int, size_words: int) -> np.ndarray:
         """cudaGetParameterBuffer for ``count`` lanes of one warp."""
@@ -65,47 +66,49 @@ class DeviceRuntime:
 
     def submit_device_launches(self, requests: Sequence[tuple], deliver_cycle: int) -> None:
         """Deliver a warp's cudaLaunchDevice commands to the KMU."""
+        self._gpu.schedule_event(
+            deliver_cycle, kind="device_launch_batch", payload=tuple(requests)
+        )
+
+    def _deliver_device_batch(self, requests: Sequence[tuple], cycle: int) -> None:
         gpu = self._gpu
-
-        def deliver(cycle: int) -> None:
-            for kernel_name, param_addr, grid, block, _hw_tid in requests:
-                func = gpu.kernels[kernel_name]
-                func.validate_block(block, gpu.config.max_resident_threads)
-                blocks = grid[0] * grid[1] * grid[2]
-                threads = blocks * block[0] * block[1] * block[2]
-                record = LaunchRecord(
-                    kind=LaunchKind.DEVICE_KERNEL,
-                    kernel_name=kernel_name,
-                    launch_cycle=cycle,
-                    total_blocks=blocks,
-                    total_threads=threads,
-                    param_bytes=self.param_bytes_for(param_addr),
-                    record_bytes=gpu.config.cdp_pending_kernel_bytes,
-                )
-                gpu.stats.launches.append(record)
-                gpu.stats.add_footprint(record.pending_bytes)
-                gpu.kmu.enqueue_device(
-                    DeviceLaunchSpec(kernel_name, grid, block, param_addr, record)
-                )
-
-        gpu.schedule_event(deliver_cycle, deliver)
+        for kernel_name, param_addr, grid, block, _hw_tid in requests:
+            func = gpu.kernels[kernel_name]
+            func.validate_block(block, gpu.config.max_resident_threads)
+            blocks = grid[0] * grid[1] * grid[2]
+            threads = blocks * block[0] * block[1] * block[2]
+            record = LaunchRecord(
+                kind=LaunchKind.DEVICE_KERNEL,
+                kernel_name=kernel_name,
+                launch_cycle=cycle,
+                total_blocks=blocks,
+                total_threads=threads,
+                param_bytes=self.param_bytes_for(param_addr),
+                record_bytes=gpu.config.cdp_pending_kernel_bytes,
+            )
+            gpu.stats.launches.append(record)
+            gpu.stats.add_footprint(record.pending_bytes)
+            gpu.kmu.enqueue_device(
+                DeviceLaunchSpec(kernel_name, grid, block, param_addr, record)
+            )
 
     def submit_agg_launches(self, requests: Sequence[tuple], deliver_cycle: int) -> None:
         """Deliver a warp's aggregation operation command to the scheduler."""
         gpu = self._gpu
+        for kernel_name, param_addr, grid, block, hw_tid in requests:
+            gpu.kernels[kernel_name].validate_block(
+                block, gpu.config.max_resident_threads
+            )
+        gpu.schedule_event(
+            deliver_cycle, kind="agg_launch_batch", payload=tuple(requests)
+        )
+
+    def _deliver_agg_batch(self, requests: Sequence[tuple], cycle: int) -> None:
         agg_requests = [
             AggLaunchRequest(kernel_name, param_addr, grid, block, hw_tid)
             for kernel_name, param_addr, grid, block, hw_tid in requests
         ]
-        for req in agg_requests:
-            gpu.kernels[req.kernel_name].validate_block(
-                req.block_dims, gpu.config.max_resident_threads
-            )
-
-        def deliver(cycle: int) -> None:
-            gpu.scheduler.process_aggregation(agg_requests, cycle)
-
-        gpu.schedule_event(deliver_cycle, deliver)
+        self._gpu.scheduler.process_aggregation(agg_requests, cycle)
 
 
 class GPU:
@@ -146,8 +149,32 @@ class GPU:
             self.memory.observer = self.sanitizer
         #: Resident, unfinished warps across all SMXs (occupancy integral).
         self.active_warps = 0
+        #: Pending simulation events: ``(cycle, seq, fn, kind, payload)``
+        #: heap entries.  ``kind``/``payload`` describe how to rebuild
+        #: ``fn`` after a checkpoint restore (see :mod:`repro.state`);
+        #: both are ``None`` for ad-hoc events, which a checkpoint
+        #: rejects.
         self._events: list = []
-        self._event_seq = itertools.count()
+        self._event_seq = 0
+        #: Monotonic id assigned to every host launch spec, so restored
+        #: state can be matched back onto the replayed specs the host
+        #: program holds (see :mod:`repro.state.snapshot`).
+        self._launch_seq = 0
+        self._specs_by_seq: Dict[int, HostLaunchSpec] = {}
+        #: Number of completed-or-started :meth:`run` calls; checkpoints
+        #: record it so resume can target the right run of a multi-run
+        #: host program.
+        self._run_index = 0
+        #: Restore bundle consumed by the next matching :meth:`run` call.
+        self._pending_resume = None
+        #: Periodic-checkpoint configuration (see
+        #: :meth:`repro.runtime.host_api.Device.configure_checkpoint`).
+        #: Stored on the GPU because workload drivers synchronize many
+        #: times internally; per-call arguments would miss those runs.
+        self._checkpoint_every: Optional[int] = None
+        self._checkpoint_path = None
+        self._on_checkpoint = None
+        self._checkpoint_fingerprint: Optional[str] = None
         #: Fast core: per-SMX earliest wake-up cycle (``_FAR_FUTURE`` =
         #: idle), fed by :meth:`_notify_smx_ready`.  Entries may be
         #: conservatively early; an SMX woken with nothing to do simply
@@ -220,16 +247,55 @@ class GPU:
         func.validate_block(block_dims, self.config.max_resident_threads)
         param_addr = self.write_params(params)
         spec = HostLaunchSpec(kernel_name, grid_dims, block_dims, param_addr, stream)
+        spec.seq = self._launch_seq
+        self._launch_seq += 1
+        self._specs_by_seq[spec.seq] = spec
         self.kmu.enqueue_host(spec)
         return spec
 
     # ------------------------------------------------------------------
     # Event queue
     # ------------------------------------------------------------------
-    def schedule_event(self, cycle: int, fn: Callable[[int], None]) -> None:
+    def schedule_event(
+        self,
+        cycle: int,
+        fn: Optional[Callable[[int], None]] = None,
+        kind: Optional[str] = None,
+        payload: object = None,
+    ) -> None:
+        """Schedule ``fn(cycle)`` (or the ``kind`` event) at ``cycle``.
+
+        Internal callers pass ``kind``/``payload`` instead of a closure:
+        the callable is built by :meth:`_event_fn`, the same factory a
+        checkpoint restore uses to rebuild pending events, so live and
+        restored simulations execute identical code.  A raw ``fn`` with
+        no ``kind`` still works but cannot be checkpointed.
+        """
         if cycle < self.cycle:
             cycle = self.cycle
-        heapq.heappush(self._events, (cycle, next(self._event_seq), fn))
+        if fn is None:
+            fn = self._event_fn(kind, payload)
+        seq = self._event_seq
+        self._event_seq = seq + 1
+        heapq.heappush(self._events, (cycle, seq, fn, kind, payload))
+
+    def _event_fn(self, kind: Optional[str], payload: object) -> Callable[[int], None]:
+        """Build the callable for a described event (live or restored)."""
+        if kind == "device_launch_batch":
+            runtime = self.runtime
+            return lambda cycle: runtime._deliver_device_batch(payload, cycle)
+        if kind == "agg_launch_batch":
+            runtime = self.runtime
+            return lambda cycle: runtime._deliver_agg_batch(payload, cycle)
+        if kind == "kmu_activate":
+            return self.kmu._make_activator(payload)
+        if kind == "kmu_retry":
+            return self.kmu._make_retry()
+        if kind == "distribute":
+            return self.scheduler._run_distribute
+        if kind == "gate_retry":
+            return self.scheduler._make_gate_retry(payload)
+        raise SimulationError(f"unknown event kind {kind!r}")
 
     def _notify_smx_ready(self, smx_id: int, cycle: int) -> None:
         """An SMX gained issuable work at ``cycle`` (block arrival, barrier
@@ -248,17 +314,63 @@ class GPU:
             or bool(self._events)
         )
 
-    def run(self, max_cycles: Optional[int] = 200_000_000) -> SimStats:
+    def run(
+        self,
+        max_cycles: Optional[int] = 200_000_000,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path=None,
+        on_checkpoint=None,
+    ) -> SimStats:
         """Simulate until the GPU drains; returns the stats object.
 
         ``max_cycles`` is an absolute watchdog on the global cycle counter
         (which accumulates across successive :meth:`run` calls).
-        """
-        if self.fast_core:
-            return self._run_fast(max_cycles)
-        return self._run_reference(max_cycles)
 
-    def _run_fast(self, max_cycles: Optional[int]) -> SimStats:
+        ``checkpoint_every`` snapshots the full simulator state every N
+        simulated cycles (see :mod:`repro.state`), writing it atomically
+        to ``checkpoint_path`` and/or passing the document to
+        ``on_checkpoint``.  Explicit arguments override the stored
+        configuration from ``Device.configure_checkpoint``.  A pending
+        resume armed via :func:`repro.state.prepare_resume` is consumed
+        at the entry of the :meth:`run` call whose index matches the
+        checkpoint's, restoring the saved cycle and continuing.
+        """
+        self._run_index += 1
+        if (
+            self._pending_resume is not None
+            and self._pending_resume[0] == self._run_index
+        ):
+            from ..state import snapshot as _snapshot
+
+            doc = self._pending_resume[1]
+            self._pending_resume = None
+            _snapshot.restore_document(self, doc)
+        every = checkpoint_every if checkpoint_every is not None else self._checkpoint_every
+        path = checkpoint_path if checkpoint_path is not None else self._checkpoint_path
+        callback = on_checkpoint if on_checkpoint is not None else self._on_checkpoint
+        checkpoint = None
+        if every:
+            from ..state import snapshot as _snapshot
+
+            fingerprint = self._checkpoint_fingerprint
+
+            def checkpoint() -> None:
+                doc = _snapshot.capture_document(self, fingerprint)
+                if path is not None:
+                    _snapshot.save_checkpoint(path, doc)
+                if callback is not None:
+                    callback(doc)
+
+        if self.fast_core:
+            return self._run_fast(max_cycles, every, checkpoint)
+        return self._run_reference(max_cycles, every, checkpoint)
+
+    def _run_fast(
+        self,
+        max_cycles: Optional[int],
+        ckpt_every: Optional[int] = None,
+        checkpoint=None,
+    ) -> SimStats:
         """Event-driven loop over one GPU-wide ready heap.
 
         Heap entries are ``(sched, smx_id, ready, age, warp)``.
@@ -308,6 +420,7 @@ class GPU:
         heappop = heapq.heappop
         heappush = heapq.heappush
         cycle = self.cycle
+        next_ckpt = cycle + ckpt_every if ckpt_every else _FAR_FUTURE
         while True:
             # Visit `cycle`: deliver due events first — the reference
             # loop drains events before any SMX ticks at a visited
@@ -315,8 +428,7 @@ class GPU:
             # wait for the next visited cycle, exactly as they wait for
             # the reference loop's next iteration.
             while events and events[0][0] <= cycle:
-                _, _, fn = heappop(events)
-                fn(cycle)
+                heappop(events)[2](cycle)
             # Issue every warp due at this cycle, in reference order.
             while gheap:
                 entry = gheap[0]
@@ -367,7 +479,8 @@ class GPU:
                         self.cycle = cycle = last
                 if not warp.finished and not warp.at_barrier:
                     if round_robin:
-                        warp.age = next(smx._seq)
+                        warp.age = smx._seq
+                        smx._seq += 1
                     heappush(
                         gheap,
                         (
@@ -420,17 +533,28 @@ class GPU:
                 )
             stats.resident_warp_cycles += self.active_warps * (next_cycle - cycle)
             self.cycle = cycle = next_cycle
+            # Checkpoint only at the inter-cycle boundary: events not yet
+            # drained at `cycle`, issue-budget locals lazily reset, so the
+            # captured state is exactly what a fresh loop entry would see.
+            if cycle >= next_ckpt:
+                checkpoint()
+                next_ckpt = cycle + ckpt_every
         stats.cycles = self.cycle
         return stats
 
-    def _run_reference(self, max_cycles: Optional[int]) -> SimStats:
+    def _run_reference(
+        self,
+        max_cycles: Optional[int],
+        ckpt_every: Optional[int] = None,
+        checkpoint=None,
+    ) -> SimStats:
         """Reference loop: poll every SMX at every visited cycle."""
         events = self._events
         smxs = self.smxs
+        next_ckpt = self.cycle + ckpt_every if ckpt_every else _FAR_FUTURE
         while True:
             while events and events[0][0] <= self.cycle:
-                _, _, fn = heapq.heappop(events)
-                fn(self.cycle)
+                heapq.heappop(events)[2](self.cycle)
             for smx in smxs:
                 smx.tick(self.cycle)
             next_cycle = None
@@ -457,5 +581,8 @@ class GPU:
                 next_cycle - self.cycle
             )
             self.cycle = next_cycle
+            if next_cycle >= next_ckpt:
+                checkpoint()
+                next_ckpt = next_cycle + ckpt_every
         self.stats.cycles = self.cycle
         return self.stats

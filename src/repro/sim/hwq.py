@@ -22,7 +22,10 @@ class HostLaunchSpec:
     :class:`~repro.runtime.host_api.Event` handles.
     """
 
-    __slots__ = ("kernel_name", "grid_dims", "block_dims", "param_addr", "stream_id", "record")
+    __slots__ = (
+        "kernel_name", "grid_dims", "block_dims", "param_addr", "stream_id",
+        "record", "seq",
+    )
 
     def __init__(self, kernel_name, grid_dims, block_dims, param_addr, stream_id):
         self.kernel_name = kernel_name
@@ -31,6 +34,9 @@ class HostLaunchSpec:
         self.param_addr = param_addr
         self.stream_id = stream_id
         self.record = None
+        #: Monotonic id assigned by :meth:`repro.sim.gpu.GPU.host_launch`;
+        #: checkpoints use it to re-identify the spec after a restore.
+        self.seq = -1
 
 
 class HardwareWorkQueue:

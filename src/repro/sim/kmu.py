@@ -79,7 +79,9 @@ class KernelManagementUnit:
                 # Reserve the KDE entry now: other dispatch decisions made
                 # before this activation lands must not count on it.
                 self._reserved_entries += 1
-                gpu.schedule_event(self._busy_until, self._make_activator(spec))
+                gpu.schedule_event(
+                    self._busy_until, kind="kmu_activate", payload=spec
+                )
                 # Serialize: the next dispatch begins after this one lands.
                 self._schedule_retry(self._busy_until)
                 return
@@ -127,15 +129,17 @@ class KernelManagementUnit:
         )
         gpu.scheduler.mark(entry, cycle)
 
+    def _make_retry(self):
+        def retry(when: int) -> None:
+            self._dispatch_scheduled = False
+            self.try_dispatch(when)
+
+        return retry
+
     def _schedule_retry(self, cycle: int) -> None:
         if not self._dispatch_scheduled:
             self._dispatch_scheduled = True
-
-            def retry(when: int) -> None:
-                self._dispatch_scheduled = False
-                self.try_dispatch(when)
-
-            self._gpu.schedule_event(cycle, retry)
+            self._gpu.schedule_event(cycle, kind="kmu_retry")
 
 
 def _total(dims) -> int:

@@ -11,7 +11,6 @@ min-heap keyed by (ready_cycle, age).
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import TYPE_CHECKING, List, Optional
 
 from ..config import WORD_BYTES
@@ -41,7 +40,9 @@ class SMX:
         self.blocks: List[ThreadBlock] = []
         self.resident_warps = 0
         self._ready_heap: list = []
-        self._seq = itertools.count()
+        # Plain int age counter (not itertools.count) so checkpoints can
+        # serialize and restore it exactly.
+        self._seq = 0
         #: Free warp-context slots; a resident warp owns one slot, which
         #: also determines its hardware thread indices and local-memory
         #: segment.
@@ -121,7 +122,8 @@ class SMX:
         smx_id = self.smx_id
         for warp in tb.warps:
             warp.ready_cycle = start_cycle
-            warp.age = next(self._seq)
+            warp.age = self._seq
+            self._seq += 1
             if gheap is not None:
                 heapq.heappush(
                     gheap, (start_cycle, smx_id, start_cycle, warp.age, warp)
@@ -194,7 +196,8 @@ class SMX:
             issued += 1
             if not warp.finished and not warp.at_barrier:
                 if round_robin:
-                    warp.age = next(self._seq)
+                    warp.age = self._seq
+                    self._seq += 1
                 heapq.heappush(heap, (warp.ready_cycle, warp.age, warp))
         return issued
 

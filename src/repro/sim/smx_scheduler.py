@@ -60,11 +60,18 @@ class SMXScheduler:
         if self._distribute_scheduled or not self.fcfs:
             return
         self._distribute_scheduled = True
-        self._gpu.schedule_event(cycle, self._run_distribute)
+        self._gpu.schedule_event(cycle, kind="distribute")
 
     def _run_distribute(self, cycle: int) -> None:
         self._distribute_scheduled = False
         self.distribute(cycle)
+
+    def _make_gate_retry(self, when: int):
+        def retry(at: int) -> None:
+            self._gate_retries.discard(when)
+            self.distribute(at)
+
+        return retry
 
     # ------------------------------------------------------------------
     # TB distribution
@@ -98,12 +105,7 @@ class SMXScheduler:
             when = min(gates)
             if when not in self._gate_retries:
                 self._gate_retries.add(when)
-
-                def retry(at: int, when: int = when) -> None:
-                    self._gate_retries.discard(when)
-                    self.distribute(at)
-
-                self._gpu.schedule_event(when, retry)
+                self._gpu.schedule_event(when, kind="gate_retry", payload=when)
         # When blocked purely by SMX capacity, on_block_complete re-notifies.
 
     def _next_tb(

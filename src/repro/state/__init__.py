@@ -1,0 +1,34 @@
+"""Deterministic checkpoint/restore of a mid-flight simulation.
+
+:mod:`repro.state.snapshot` serializes the *complete* simulator state —
+global memory and allocator, per-SMX thread blocks and warps, the Kernel
+Distributor, KMU and HWQ queues, AGT entries and spilled group
+descriptors, pending launch records, statistics, and the pending event
+heap — to a versioned, code-salted document that can be written
+atomically to disk and restored bit-identically into a replayed host
+program (see ``docs/architecture.md``, "Checkpoint & resume").
+"""
+
+from .snapshot import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    capture_document,
+    checkpoint_path_for,
+    load_checkpoint,
+    prepare_resume,
+    quarantine_checkpoint,
+    restore_document,
+    save_checkpoint,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointError",
+    "capture_document",
+    "checkpoint_path_for",
+    "load_checkpoint",
+    "prepare_resume",
+    "quarantine_checkpoint",
+    "restore_document",
+    "save_checkpoint",
+]

@@ -19,7 +19,14 @@ import sys
 
 import json
 
-from ..exec import DEFAULT_CACHE_DIR, ResultCache, SweepEngine, SweepJob, execute_job
+from ..exec import (
+    ResultCache,
+    SweepEngine,
+    SweepJob,
+    add_execution_flags,
+    execute_job,
+    validate_execution_flags,
+)
 from ..runtime import ExecutionMode
 from ..sim import profiler as _profiler
 from ..sim.stats import SimStats
@@ -39,22 +46,7 @@ def main(argv=None) -> int:
                         help="Table 3 launch-latency scale")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the reference-result check")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes (default 1: in-process)")
-    parser.add_argument("--cache", dest="cache", action="store_true",
-                        default=True,
-                        help="persist results in the on-disk cache (default)")
-    parser.add_argument("--no-cache", dest="cache", action="store_false",
-                        help="bypass the on-disk cache (no reads, no writes)")
-    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
-                        help=f"cache directory (default {DEFAULT_CACHE_DIR})")
-    parser.add_argument("--profile", action="store_true",
-                        help="profile the simulation hot path (issues and "
-                             "host time per opcode / fused region); forces "
-                             "--jobs 1 and bypasses the result cache")
-    parser.add_argument("--profile-json", metavar="PATH", default=None,
-                        help="write the profile report as JSON to PATH "
-                             "(implies --profile)")
+    add_execution_flags(parser, profile_json=True)
     parser.add_argument("--list", action="store_true", help="list benchmarks")
     args = parser.parse_args(argv)
 
@@ -62,10 +54,7 @@ def main(argv=None) -> int:
         for name in benchmark_names():
             print(name)
         return 0
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
-    if args.profile_json:
-        args.profile = True
+    checkpoint_dir = validate_execution_flags(parser, args)
 
     profiler = None
     if args.profile:
@@ -98,9 +87,22 @@ def main(argv=None) -> int:
             payloads[key] = payload
     if missing:
         if args.jobs > 1 and len(missing) > 1:
-            fresh = SweepEngine(max_workers=args.jobs).run(missing)
+            engine = SweepEngine(
+                max_workers=args.jobs,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+            )
+            fresh = engine.run(missing)
         else:
-            fresh = [execute_job(job) for job in missing]
+            fresh = [
+                execute_job(
+                    job,
+                    checkpoint_every=args.checkpoint_every,
+                    checkpoint_dir=checkpoint_dir,
+                    resume=checkpoint_dir is not None,
+                )
+                for job in missing
+            ]
         for job, payload in zip(missing, fresh):
             key = job.fingerprint()
             payloads[key] = payload

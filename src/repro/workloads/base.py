@@ -19,6 +19,7 @@ dynamic-launch mechanism differs (the paper's fair-comparison rule).
 from __future__ import annotations
 
 import abc
+import os
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -102,6 +103,11 @@ class Workload(abc.ABC):
         max_cycles: Optional[int] = 500_000_000,
         latency_scale: float = 1.0,
         optimize_kernels: bool = False,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path=None,
+        resume: bool = False,
+        on_checkpoint=None,
+        checkpoint_fingerprint: Optional[str] = None,
     ) -> WorkloadResult:
         """Build, run and (optionally) verify this workload end to end.
 
@@ -109,6 +115,12 @@ class Workload(abc.ABC):
         match a scaled-down dataset (see ``LatencyModel.scaled``);
         ``optimize_kernels`` runs the peephole optimizer over every kernel
         before registration (results are still verified).
+
+        ``checkpoint_every`` snapshots the simulator to ``checkpoint_path``
+        (and/or ``on_checkpoint``) every N cycles; with ``resume=True`` a
+        valid checkpoint at ``checkpoint_path`` fast-forwards the run to
+        its saved cycle (stale or corrupt files are quarantined and the
+        run starts fresh).  The file is removed once the run completes.
         """
         device = Device(
             config=config or GPUConfig.k20c(),
@@ -129,8 +141,37 @@ class Workload(abc.ABC):
                 )
             device.register(func)
         self.setup(device)
+        if checkpoint_every:
+            device.configure_checkpoint(
+                checkpoint_every,
+                path=checkpoint_path,
+                on_checkpoint=on_checkpoint,
+                fingerprint=checkpoint_fingerprint,
+            )
+        if resume and checkpoint_path is not None and os.path.exists(checkpoint_path):
+            from ..state import (
+                CheckpointError,
+                load_checkpoint,
+                prepare_resume,
+                quarantine_checkpoint,
+            )
+
+            try:
+                doc = load_checkpoint(
+                    checkpoint_path, fingerprint=checkpoint_fingerprint
+                )
+                prepare_resume(device.gpu, doc)
+            except CheckpointError:
+                # Stale, corrupt or foreign checkpoint: set it aside and
+                # run from the beginning.
+                quarantine_checkpoint(checkpoint_path)
         self.run(device)
         device.synchronize(max_cycles=max_cycles)
+        if (checkpoint_every or resume) and checkpoint_path is not None:
+            try:
+                os.unlink(checkpoint_path)
+            except OSError:
+                pass
         if verify:
             self.check(device)
         if device.sanitizing and not device.sanitizer_report().clean:

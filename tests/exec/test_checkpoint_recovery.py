@@ -1,0 +1,170 @@
+"""Crash recovery: checkpointed sweeps resume bit-identically.
+
+The sweep engine's retry path is exercised with the
+``REPRO_EXEC_TEST_CRASH_AFTER_CKPT`` hook (see :mod:`repro.exec.pool`):
+the first checkpoint any worker writes also creates a sentinel file and
+kills the worker *after* the checkpoint landed, so the retried attempt
+must resume from it.  Every recovered payload is compared bit-for-bit
+against an uninterrupted serial run.
+"""
+
+import pytest
+
+from repro.exec import SweepEngine, SweepJob, execute_job
+from repro.runtime import ExecutionMode
+from repro.state import checkpoint_path_for
+
+SCALE = 0.08
+CKPT_EVERY = 4_000
+
+
+class Interrupt(Exception):
+    pass
+
+
+def _job():
+    return SweepJob.create("bht", ExecutionMode.DTBL, SCALE, 0.25)
+
+
+@pytest.fixture(scope="module")
+def clean_payload():
+    """The golden payload: one uninterrupted, uncheckpointed run."""
+    return execute_job(_job())
+
+
+class TestCrashRecovery:
+    def test_worker_killed_after_checkpoint_resumes(
+        self, tmp_path, monkeypatch, clean_payload
+    ):
+        """A worker that dies right after checkpointing costs one retry;
+        the retry resumes mid-flight and finishes bit-identically."""
+        sentinel = tmp_path / "crash.sentinel"
+        ckdir = tmp_path / "ckpts"
+        monkeypatch.setenv("REPRO_EXEC_TEST_CRASH_AFTER_CKPT", str(sentinel))
+        engine = SweepEngine(
+            max_workers=2,
+            checkpoint_every=CKPT_EVERY,
+            checkpoint_dir=str(ckdir),
+        )
+        (payload,) = engine.run([_job()])
+        assert sentinel.exists(), "the injected crash never fired"
+        assert engine.stats.retries >= 1
+        assert payload["stats"] == clean_payload["stats"]
+        # Completion deletes the checkpoint so a rerun starts fresh.
+        assert not list(ckdir.glob("*.ckpt"))
+
+    def test_serial_interrupt_then_resume(self, tmp_path, clean_payload):
+        """The serial path (jobs=1) resumes from its own checkpoint."""
+        job = _job()
+        ckdir = str(tmp_path)
+
+        def bomb(doc):
+            raise Interrupt()
+
+        with pytest.raises(Interrupt):
+            execute_job(
+                job,
+                checkpoint_every=CKPT_EVERY,
+                checkpoint_dir=ckdir,
+                on_checkpoint=bomb,
+            )
+        path = checkpoint_path_for(ckdir, job.fingerprint())
+        assert path.exists(), "interrupt left no checkpoint behind"
+        payload = execute_job(
+            job,
+            checkpoint_every=CKPT_EVERY,
+            checkpoint_dir=ckdir,
+            resume=True,
+        )
+        assert payload["stats"] == clean_payload["stats"]
+        assert not path.exists()
+
+    def test_corrupt_checkpoint_quarantined_then_fresh_run(
+        self, tmp_path, clean_payload
+    ):
+        """Undecodable checkpoint bytes: quarantine, then run fresh."""
+        job = _job()
+        path = checkpoint_path_for(tmp_path, job.fingerprint())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"REPRO-CKPT\x00garbage-not-zlib")
+        payload = execute_job(
+            job,
+            checkpoint_every=CKPT_EVERY,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+        assert payload["stats"] == clean_payload["stats"]
+        assert not path.exists()
+        assert path.with_suffix(".ckpt.corrupt").exists()
+
+    def test_truncated_checkpoint_quarantined_then_fresh_run(
+        self, tmp_path, clean_payload
+    ):
+        """A torn/truncated real checkpoint is quarantined, not trusted."""
+        job = _job()
+        ckdir = str(tmp_path)
+
+        def bomb(doc):
+            raise Interrupt()
+
+        with pytest.raises(Interrupt):
+            execute_job(
+                job,
+                checkpoint_every=CKPT_EVERY,
+                checkpoint_dir=ckdir,
+                on_checkpoint=bomb,
+            )
+        path = checkpoint_path_for(ckdir, job.fingerprint())
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        payload = execute_job(
+            job,
+            checkpoint_every=CKPT_EVERY,
+            checkpoint_dir=ckdir,
+            resume=True,
+        )
+        assert payload["stats"] == clean_payload["stats"]
+        assert path.with_suffix(".ckpt.corrupt").exists()
+
+    def test_resume_without_checkpoint_runs_fresh(self, tmp_path, clean_payload):
+        """``resume=True`` with no file present is a plain fresh run."""
+        payload = execute_job(
+            _job(),
+            checkpoint_every=CKPT_EVERY,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+        assert payload["stats"] == clean_payload["stats"]
+
+    def test_foreign_fingerprint_checkpoint_rejected(
+        self, tmp_path, clean_payload
+    ):
+        """A checkpoint bound to another job's fingerprint is never
+        resumed from: it is quarantined and the job runs fresh."""
+        job = _job()
+        ckdir = str(tmp_path)
+
+        def bomb(doc):
+            raise Interrupt()
+
+        with pytest.raises(Interrupt):
+            execute_job(
+                job,
+                checkpoint_every=CKPT_EVERY,
+                checkpoint_dir=ckdir,
+                on_checkpoint=bomb,
+            )
+        # Present the real checkpoint under a different job's path.
+        other = SweepJob.create("bht", ExecutionMode.CDP, SCALE, 0.25)
+        mine = checkpoint_path_for(ckdir, job.fingerprint())
+        theirs = checkpoint_path_for(ckdir, other.fingerprint())
+        mine.rename(theirs)
+        payload = execute_job(
+            other,
+            checkpoint_every=CKPT_EVERY,
+            checkpoint_dir=ckdir,
+            resume=True,
+        )
+        clean_other = execute_job(other)
+        assert payload["stats"] == clean_other["stats"]
+        assert theirs.with_suffix(".ckpt.corrupt").exists()

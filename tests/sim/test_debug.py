@@ -30,8 +30,7 @@ def paused_device():
     # 283 cycles of KMU dispatch latency precede any execution.
     for _ in range(600):
         while gpu._events and gpu._events[0][0] <= gpu.cycle:
-            _, _, fn = heapq.heappop(gpu._events)
-            fn(gpu.cycle)
+            heapq.heappop(gpu._events)[2](gpu.cycle)
         for smx in gpu.smxs:
             smx.tick(gpu.cycle)
         gpu.cycle += 1

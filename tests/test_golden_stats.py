@@ -1,0 +1,65 @@
+"""Golden statistics: live simulations vs the pinned corpus.
+
+``tests/golden/*.json`` pins ``SimStats.to_dict()`` for a small
+benchmark grid (see ``tools/golden_refresh.py``).  These tests recompute
+each grid point and compare **exactly** — one cycle of drift anywhere in
+the model fails loudly, with a per-counter diff in the assertion.
+
+Intentional behaviour changes must regenerate the corpus
+(``PYTHONPATH=src python tools/golden_refresh.py``) and commit the
+resulting diff alongside the change.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import ExecutionMode, GPUConfig
+from repro.workloads import get_benchmark
+
+SCALE = 0.08
+LATENCY_SCALE = 0.25
+BENCHMARKS = ("bfs_citation", "bht")
+MODES = ("flat", "cdp", "dtbl")
+CORES = (("ref", False), ("fast", True))
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+GRID = [
+    (bench, mode, core, fast)
+    for bench in BENCHMARKS
+    for mode in MODES
+    for core, fast in CORES
+]
+
+
+def test_corpus_is_exactly_the_pinned_grid():
+    """No missing and no stale golden files."""
+    expected = {f"{b}-{m}-{c}.json" for b, m, c, _ in GRID}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected
+
+
+@pytest.mark.parametrize(
+    "bench,mode,core,fast", GRID,
+    ids=[f"{b}-{m}-{c}" for b, m, c, _ in GRID],
+)
+def test_stats_match_golden(bench, mode, core, fast):
+    golden = json.loads(
+        (GOLDEN_DIR / f"{bench}-{mode}-{core}.json").read_text()
+    )
+    workload = get_benchmark(bench, ExecutionMode(mode), SCALE)
+    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    result = workload.execute(config=config, latency_scale=LATENCY_SCALE)
+    live = json.loads(json.dumps(result.stats.to_dict()))
+    if live != golden:
+        drifted = {
+            key: (golden.get(key), live.get(key))
+            for key in set(golden) | set(live)
+            if golden.get(key) != live.get(key)
+        }
+        pytest.fail(
+            f"{bench} {mode} ({core}) drifted from the golden corpus; "
+            f"changed counters (golden, live): {drifted}"
+        )

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""CI smoke: interrupt one Fig. 11 simulation mid-run, then resume it.
+
+One (benchmark, mode) point from the paper's speedup grid runs three
+times on each simulation core:
+
+1. **clean** — uninterrupted, no checkpointing: the golden payload;
+2. **interrupted** — checkpointing every few thousand cycles, killed by
+   an exception raised from the first checkpoint callback (after the
+   file landed on disk, exactly like a crashed sweep worker);
+3. **resumed** — ``resume=True`` against the file the kill left behind.
+
+The resumed payload must equal the clean payload bit-for-bit, and the
+checkpoint file must be cleaned up on success.  Any difference exits
+nonzero with a per-counter diff.
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import tempfile  # noqa: E402
+import dataclasses  # noqa: E402
+
+from repro.config import GPUConfig  # noqa: E402
+from repro.exec import SweepJob, execute_job  # noqa: E402
+from repro.runtime import ExecutionMode  # noqa: E402
+from repro.state import checkpoint_path_for  # noqa: E402
+
+BENCH = "bfs_citation"
+MODE = ExecutionMode.DTBL
+SCALE = 0.1
+LATENCY_SCALE = 0.25
+CKPT_EVERY = 8_000
+
+
+class Interrupt(Exception):
+    pass
+
+
+def _bomb(doc):
+    raise Interrupt()
+
+
+def smoke_one(fast: bool) -> bool:
+    core = "fast" if fast else "ref"
+    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    job = SweepJob.create(BENCH, MODE, SCALE, LATENCY_SCALE, config=config)
+    ckdir = tempfile.mkdtemp(prefix="repro-ckpt-smoke-")
+    path = checkpoint_path_for(ckdir, job.fingerprint())
+
+    clean = execute_job(job)
+    try:
+        execute_job(
+            job, checkpoint_every=CKPT_EVERY, checkpoint_dir=ckdir,
+            on_checkpoint=_bomb,
+        )
+    except Interrupt:
+        pass
+    else:
+        print(f"[{core}] FAIL: the run never reached a checkpoint "
+              f"(checkpoint_every={CKPT_EVERY} too large?)")
+        return False
+    if not path.exists():
+        print(f"[{core}] FAIL: interrupt left no checkpoint at {path}")
+        return False
+
+    resumed = execute_job(
+        job, checkpoint_every=CKPT_EVERY, checkpoint_dir=ckdir, resume=True
+    )
+    if resumed["stats"] != clean["stats"]:
+        golden, live = clean["stats"], resumed["stats"]
+        drifted = {
+            key: (golden.get(key), live.get(key))
+            for key in set(golden) | set(live)
+            if golden.get(key) != live.get(key)
+        }
+        print(f"[{core}] FAIL: resumed stats differ from the clean run; "
+              f"changed counters (clean, resumed): {drifted}")
+        return False
+    if path.exists():
+        print(f"[{core}] FAIL: checkpoint not removed after completion")
+        return False
+    print(f"[{core}] {BENCH} {MODE.value} scale={SCALE}: interrupt + "
+          f"resume bit-identical ({clean['stats']['cycles']:,} cycles)")
+    return True
+
+
+def main() -> int:
+    ok = True
+    for fast in (False, True):
+        ok = smoke_one(fast) and ok
+    print("checkpoint smoke:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

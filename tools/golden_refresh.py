@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate the golden statistics corpus under ``tests/golden/``.
+
+The corpus pins ``SimStats.to_dict()`` for a small benchmark grid —
+``bfs_citation`` and ``bht`` in flat/cdp/dtbl on both simulation cores —
+at ``scale=0.08``, ``latency_scale=0.25`` on the K20c configuration.
+``tests/test_golden_stats.py`` compares live simulations against these
+files *exactly*: any counter drift, however small, fails the suite.
+
+That is the point.  When a change intentionally alters simulated
+behaviour (a new scheduling rule, a latency fix), regenerate the corpus
+and commit the diff alongside the change, so the review shows precisely
+which counters moved::
+
+    PYTHONPATH=src python tools/golden_refresh.py
+
+Accidental drift shows up as a test failure with no corpus diff to
+explain it.
+"""
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.config import GPUConfig  # noqa: E402
+from repro.runtime import ExecutionMode  # noqa: E402
+from repro.workloads import get_benchmark  # noqa: E402
+
+SCALE = 0.08
+LATENCY_SCALE = 0.25
+BENCHMARKS = ("bfs_citation", "bht")
+MODES = ("flat", "cdp", "dtbl")
+CORES = (("ref", False), ("fast", True))
+GOLDEN_DIR = REPO / "tests" / "golden"
+
+
+def golden_stats(bench: str, mode: str, fast: bool) -> dict:
+    """Simulate one pinned grid point and return its stats dictionary."""
+    workload = get_benchmark(bench, ExecutionMode(mode), SCALE)
+    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    result = workload.execute(config=config, latency_scale=LATENCY_SCALE)
+    return result.stats.to_dict()
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for bench in BENCHMARKS:
+        for mode in MODES:
+            for core, fast in CORES:
+                stats = golden_stats(bench, mode, fast)
+                path = GOLDEN_DIR / f"{bench}-{mode}-{core}.json"
+                path.write_text(
+                    json.dumps(stats, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+                print(f"wrote {path.relative_to(REPO)} "
+                      f"(cycles={stats['cycles']:,})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
