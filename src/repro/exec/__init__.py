@@ -1,10 +1,15 @@
 """repro.exec: the experiment-execution subsystem.
 
-Three layers, composed by the harness (:mod:`repro.harness.runner`):
+Four layers, composed by the harness (:mod:`repro.harness.runner`) and
+the serving daemon (:mod:`repro.serve`):
 
+* :mod:`repro.exec.jobspec` — the canonical job model:
+  :class:`JobSpec` (what to simulate + how to run it),
+  :class:`JobResult`, and :func:`run_job`, the single in-process
+  execution path every runner shares;
 * :mod:`repro.exec.fingerprint` — deterministic content hashing of a
-  simulation job (:class:`SweepJob`), so identical jobs are identical
-  keys across processes and runs;
+  job's identity, so identical jobs are identical keys across processes
+  and runs (``SweepJob`` lives on as an alias of :class:`JobSpec`);
 * :mod:`repro.exec.cache` — a content-addressed on-disk result store
   (:class:`ResultCache`) with atomic writes and corrupt-entry
   quarantine;
@@ -12,21 +17,25 @@ Three layers, composed by the harness (:mod:`repro.harness.runner`):
   (:class:`SweepEngine`) with per-job timeout, bounded retry and
   in-process fallback.
 
-``fingerprint -> cache -> pool``: a requested job is fingerprinted, the
-cache is consulted, and only misses are simulated — in parallel.
+``spec -> fingerprint -> cache -> pool``: a requested job is
+fingerprinted, the cache is consulted, and only misses are simulated —
+in parallel.
 
 :mod:`repro.exec.cli` holds the argparse flags both command-line entry
 points share, including ``--checkpoint-every``/``--resume`` backed by
-:mod:`repro.state`.
+:mod:`repro.state`; ``JobSpec.from_args`` turns a parsed namespace into
+specs, so every flag is declared exactly once.
 """
 
 from .cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from .fingerprint import CODE_VERSION, canonical_json, digest
+from .jobspec import JobResult, JobSpec, SpecError, run_job
 from .cli import (
     DEFAULT_CHECKPOINT_DIR,
     add_execution_flags,
+    add_job_flags,
     validate_execution_flags,
 )
-from .fingerprint import CODE_VERSION, SweepJob, canonical_json, digest
 from .pool import (
     EngineStats,
     ProgressEvent,
@@ -35,20 +44,28 @@ from .pool import (
     execute_job,
 )
 
+#: Backwards-compatible alias (the original name of the job model).
+SweepJob = JobSpec
+
 __all__ = [
     "CODE_VERSION",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_CHECKPOINT_DIR",
     "CacheStats",
     "EngineStats",
+    "JobResult",
+    "JobSpec",
     "ProgressEvent",
     "ResultCache",
+    "SpecError",
     "SweepEngine",
     "SweepError",
     "SweepJob",
     "add_execution_flags",
+    "add_job_flags",
     "canonical_json",
     "digest",
     "execute_job",
+    "run_job",
     "validate_execution_flags",
 ]

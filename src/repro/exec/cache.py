@@ -1,7 +1,7 @@
 """Content-addressed on-disk store for simulation results.
 
 Entries are JSON blobs under a cache root (default ``.repro-cache/``),
-addressed by :meth:`repro.exec.fingerprint.SweepJob.fingerprint` and
+addressed by :meth:`repro.exec.jobspec.JobSpec.fingerprint` and
 fanned out over 256 two-hex-digit subdirectories.  The store is safe for
 concurrent writers and robust to corruption:
 

@@ -1,11 +1,18 @@
-"""Shared execution flags for the two command-line entry points.
+"""Shared CLI flags: every job/execution flag is declared exactly once.
 
-``python -m repro.harness`` and ``python -m repro.workloads`` expose the
-same execution surface — worker processes, the on-disk result cache, the
-hot-path profiler, and checkpoint/resume — and used to duplicate the
-argparse wiring.  This module is the single definition: both CLIs call
-:func:`add_execution_flags` to declare the flags and
-:func:`validate_execution_flags` to apply the shared consistency rules.
+``python -m repro.harness``, ``python -m repro.workloads`` and
+``python -m repro.serve`` expose the same execution surface — worker
+processes, the on-disk result cache, the hot-path profiler, and
+checkpoint/resume — and used to duplicate the argparse wiring.  This
+module is the single definition:
+
+* :func:`add_job_flags` declares the job-shape flags (``--scale``,
+  ``--latency-scale``, ``--sanitize``) that feed
+  :meth:`repro.exec.jobspec.JobSpec.from_args`;
+* :func:`add_execution_flags` declares the execution-policy flags
+  (``--jobs``, ``--cache*``, ``--profile*``, ``--checkpoint*``,
+  ``--resume``);
+* :func:`validate_execution_flags` applies the shared consistency rules.
 """
 
 from __future__ import annotations
@@ -17,6 +24,22 @@ from .cache import DEFAULT_CACHE_DIR
 
 #: Default directory for ``--checkpoint-every`` / ``--resume`` state.
 DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
+
+def add_job_flags(
+    parser: argparse.ArgumentParser, latency_scale_default: float = 0.25
+) -> None:
+    """Declare the flags that describe the simulation jobs themselves."""
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (default 1.0)")
+    parser.add_argument("--latency-scale", type=float,
+                        default=latency_scale_default,
+                        help="Table 3 launch-latency scale "
+                             f"(default {latency_scale_default})")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run every simulation with the execution "
+                             "sanitizer (race/OOB/uninit/barrier/launch "
+                             "checks); any finding fails the run")
 
 
 def add_execution_flags(
@@ -77,6 +100,10 @@ def validate_execution_flags(
     """
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if getattr(args, "scale", 1.0) <= 0:
+        parser.error("--scale must be > 0")
+    if getattr(args, "latency_scale", 1.0) <= 0:
+        parser.error("--latency-scale must be > 0")
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
         parser.error("--checkpoint-every must be >= 1")
     if getattr(args, "profile_json", None):

@@ -1,17 +1,23 @@
 """Deterministic content fingerprints for simulation jobs.
 
-A *sweep job* is everything that determines a simulation's outcome: the
-GPU configuration, the execution mode, the benchmark, the dataset scale,
-the launch-latency scale, whether the run is sanitized, and a code-version
-salt.  :meth:`SweepJob.fingerprint` hashes a canonical JSON document of
-all of it, so identical jobs have identical keys across processes,
-interpreter restarts and machines — the property the on-disk result cache
-(:mod:`repro.exec.cache`) and the multi-process sweep engine
-(:mod:`repro.exec.pool`) are built on.
+A job's identity is everything that determines a simulation's outcome:
+the GPU configuration, the execution mode, the benchmark, the dataset
+scale, the launch-latency scale, and whether the run is sanitized, plus a
+code-version salt.  :meth:`repro.exec.jobspec.JobSpec.fingerprint` hashes
+a canonical JSON document of all of it through :func:`digest`, so
+identical jobs have identical keys across processes, interpreter restarts
+and machines — the property the on-disk result cache
+(:mod:`repro.exec.cache`), the multi-process sweep engine
+(:mod:`repro.exec.pool`) and the serving daemon (:mod:`repro.serve`) are
+built on.
 
 The code-version salt (:data:`CODE_VERSION`) folds the package version
 into every key: bumping the version orphans all previously cached results
 rather than risking a stale entry produced by different simulator code.
+
+This module holds the hashing primitives; the job model itself lives in
+:mod:`repro.exec.jobspec` (``SweepJob`` is re-exported below as a
+backwards-compatible alias of :class:`~repro.exec.jobspec.JobSpec`).
 """
 
 from __future__ import annotations
@@ -19,12 +25,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass, field
-from typing import Optional
 
 from .. import __version__
 from ..config import GPUConfig
-from ..runtime import ExecutionMode
 
 #: Salt folded into every job fingerprint.  Bump the trailing tag when a
 #: change invalidates cached results without changing the package version
@@ -58,58 +61,22 @@ def effective_sanitize(config: GPUConfig) -> bool:
     return bool(config.sanitize) or bool(os.environ.get("REPRO_SANITIZE"))
 
 
-@dataclass(frozen=True)
-class SweepJob:
-    """One fully specified simulation: the unit of sweeping and caching."""
+def __getattr__(name: str):
+    # Backwards-compatible alias: the job model grew into JobSpec (which
+    # adds the execution-policy fields) but hashes the same document under
+    # the same prefix, so existing fingerprints are unchanged.  Resolved
+    # lazily to keep this module import-order independent.
+    if name == "SweepJob":
+        from .jobspec import JobSpec
 
-    benchmark: str
-    mode: ExecutionMode
-    scale: float
-    latency_scale: float
-    config: GPUConfig = field(default_factory=GPUConfig.k20c)
-    verify: bool = True
+        return JobSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    def document(self) -> dict:
-        """The canonical JSON-safe description this job hashes to."""
-        return {
-            "benchmark": self.benchmark,
-            "mode": self.mode.value,
-            "scale": self.scale,
-            "latency_scale": self.latency_scale,
-            "config": self.config.to_dict(),
-            "verify": self.verify,
-            "sanitize": effective_sanitize(self.config),
-        }
 
-    def fingerprint(self) -> str:
-        """Content hash identifying this job (includes the code salt)."""
-        return digest("SweepJob", self.document())
-
-    def label(self) -> str:
-        """Short human-readable tag for progress output."""
-        return f"{self.benchmark}/{self.mode.value}"
-
-    @classmethod
-    def create(
-        cls,
-        benchmark: str,
-        mode: ExecutionMode,
-        scale: float,
-        latency_scale: float,
-        config: Optional[GPUConfig] = None,
-        verify: bool = True,
-    ) -> "SweepJob":
-        """Build a job, canonicalizing ``config=None`` to the default.
-
-        ``config=None`` and ``config=GPUConfig.k20c()`` describe the same
-        simulation; canonicalizing here keeps them one cache key (the old
-        in-memory memo treated them as distinct and re-simulated).
-        """
-        return cls(
-            benchmark=benchmark,
-            mode=mode,
-            scale=float(scale),
-            latency_scale=float(latency_scale),
-            config=config if config is not None else GPUConfig.k20c(),
-            verify=verify,
-        )
+__all__ = [
+    "CODE_VERSION",
+    "SweepJob",
+    "canonical_json",
+    "digest",
+    "effective_sanitize",
+]

@@ -3,7 +3,7 @@
 The paper's evaluation is one 16-benchmark x 5-mode grid of independent,
 deterministic simulations — an embarrassingly parallel sweep that the
 harness previously ran serially.  :class:`SweepEngine` fans a list of
-:class:`~repro.exec.fingerprint.SweepJob`\\ s out over a
+:class:`~repro.exec.jobspec.JobSpec`\\ s out over a
 ``ProcessPoolExecutor`` (the same persistent-worker-pool shape Atos
 applies to irregular GPU work: workers drain a queue, dispatch never
 blocks on a straggler), with the failure handling a long sweep needs:
@@ -26,10 +26,18 @@ Real exceptions raised *by the simulation itself* (``WorkloadError``,
 verification mismatches) are deterministic and propagate immediately —
 retrying them would reproduce the failure bit-for-bit.
 
+Each spec carries its own checkpoint policy
+(:attr:`~repro.exec.jobspec.JobSpec.checkpoint_every` /
+``checkpoint_dir``): workers checkpoint their job periodically and every
+(re)attempt — including the in-process fallback — resumes from the last
+checkpoint, so a crashed or timed-out job loses at most one checkpoint
+interval of simulation within its retry budget.
+
 Results are returned as JSON-safe payload dictionaries (produced by
-:func:`execute_job`) in input order, bit-identical to what a serial
-in-process run produces: workers serialize ``SimStats`` with
-:meth:`~repro.sim.stats.SimStats.to_dict`, whose round trip is exact.
+:meth:`~repro.exec.jobspec.JobResult.to_payload`) in input order,
+bit-identical to what a serial in-process run produces: workers serialize
+``SimStats`` with :meth:`~repro.sim.stats.SimStats.to_dict`, whose round
+trip is exact.
 
 Test hooks: setting ``REPRO_EXEC_TEST_CRASH`` makes *worker processes*
 (never in-process execution) die before simulating — ``always`` on every
@@ -42,66 +50,56 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .fingerprint import SweepJob
+from .jobspec import JobSpec, run_job
 
 
 class SweepError(RuntimeError):
     """The engine could not complete a sweep (fallback disabled)."""
 
 
+def _warn_legacy_checkpoint_kwargs(where: str) -> None:
+    warnings.warn(
+        f"passing checkpoint_every/checkpoint_dir/resume to {where} is "
+        "deprecated; put the execution policy on the JobSpec itself "
+        "(JobSpec.create(..., checkpoint_every=, checkpoint_dir=, resume=) "
+        "or spec.with_policy(...)) and use repro.exec.run_job",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def execute_job(
-    job: SweepJob,
+    job: JobSpec,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir=None,
     resume: bool = False,
     on_checkpoint=None,
 ) -> dict:
-    """Run one simulation in the current process; JSON-safe payload.
+    """Deprecated shim: run one spec in-process; JSON-safe payload.
 
-    This is the single execution path behind the serial runner, the pool
-    workers and the in-process fallback, which is what makes the three
-    bit-identical.  With ``checkpoint_dir`` set, the job checkpoints to
-    ``<dir>/<fingerprint>.ckpt`` every ``checkpoint_every`` cycles, and
-    ``resume=True`` continues from such a file when one exists (stale or
-    corrupt files are quarantined and the job restarts).  Because the
-    simulation is deterministic and a restore is bit-identical, the
-    resumed payload equals an uninterrupted run's.
+    The canonical path is :func:`repro.exec.jobspec.run_job`, which reads
+    the checkpoint policy from the spec.  This wrapper keeps the PR-5
+    keyword bundle working — merging the keywords into the spec — but
+    warns when any of them is used.
     """
-    from ..workloads import get_benchmark
-
-    checkpoint_path = None
-    fingerprint = None
-    if checkpoint_dir is not None:
-        from ..state import checkpoint_path_for
-
-        fingerprint = job.fingerprint()
-        checkpoint_path = str(checkpoint_path_for(checkpoint_dir, fingerprint))
-    workload = get_benchmark(job.benchmark, job.mode, job.scale)
-    start = time.perf_counter()
-    result = workload.execute(
-        config=job.config,
-        latency_scale=job.latency_scale,
-        verify=job.verify,
-        checkpoint_every=checkpoint_every,
-        checkpoint_path=checkpoint_path,
-        resume=resume,
-        on_checkpoint=on_checkpoint,
-        checkpoint_fingerprint=fingerprint,
-    )
-    return {
-        "stats": result.stats.to_dict(),
-        "wall_seconds": time.perf_counter() - start,
-        "sanitizer": result.sanitizer.to_dict() if result.sanitizer else None,
-    }
+    if checkpoint_every is not None or checkpoint_dir is not None or resume:
+        _warn_legacy_checkpoint_kwargs("execute_job")
+        job = job.with_policy(
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume or None,
+        )
+    return run_job(job, on_checkpoint=on_checkpoint).to_payload()
 
 
-def _test_fault_hook(job: SweepJob) -> None:
+def _test_fault_hook(job: JobSpec) -> None:
     """Crash/hang injection for the engine's own tests (workers only)."""
     hang = os.environ.get("REPRO_EXEC_TEST_HANG")
     if hang:
@@ -144,25 +142,24 @@ def _test_ckpt_crash_hook():
     return on_checkpoint
 
 
-def _worker_entry(
-    job: SweepJob,
-    checkpoint_every: Optional[int] = None,
-    checkpoint_dir=None,
-) -> dict:
-    """What pool workers run: fault hooks (tests) + the real execution.
+def _resumable(spec: JobSpec) -> JobSpec:
+    """Arm resume on a spec that checkpoints to disk.
 
-    Workers always attempt to resume when a checkpoint directory is
-    configured: a retried job whose previous worker crashed or timed out
-    picks up from its last checkpoint instead of restarting.
+    Retried attempts — worker or fallback — must pick up from the last
+    checkpoint instead of restarting; a first attempt simply finds no
+    file and starts fresh.
     """
-    _test_fault_hook(job)
-    return execute_job(
-        job,
-        checkpoint_every=checkpoint_every,
-        checkpoint_dir=checkpoint_dir,
-        resume=checkpoint_dir is not None,
-        on_checkpoint=_test_ckpt_crash_hook(),
-    )
+    if spec.checkpoint_dir is not None and not spec.resume:
+        return spec.with_policy(resume=True)
+    return spec
+
+
+def _worker_entry(spec: JobSpec) -> dict:
+    """What pool workers run: fault hooks (tests) + the real execution."""
+    _test_fault_hook(spec)
+    return run_job(
+        _resumable(spec), on_checkpoint=_test_ckpt_crash_hook()
+    ).to_payload()
 
 
 @dataclass
@@ -172,7 +169,7 @@ class ProgressEvent:
     #: ``"done"``, ``"retry"`` or ``"fallback"``.
     kind: str
     index: int
-    job: SweepJob
+    job: JobSpec
     #: Result payload (``kind == "done"`` only).
     payload: Optional[dict] = None
     #: Where the completed job ran: ``"worker"`` or ``"in-process"``.
@@ -221,16 +218,24 @@ class SweepEngine:
         self.job_timeout = job_timeout
         self.max_retries = max_retries
         self.fallback = fallback
-        #: With a checkpoint directory set, workers checkpoint their job
-        #: every ``checkpoint_every`` cycles and every (re)attempt —
-        #: including the in-process fallback — resumes from the last
-        #: checkpoint, so a crashed or timed-out job loses at most one
-        #: checkpoint interval of simulation within its retry budget.
+        # Deprecated engine-level checkpoint policy: specs carry their
+        # own.  Kept as a default applied to specs that have none.
+        if checkpoint_every is not None or checkpoint_dir is not None:
+            _warn_legacy_checkpoint_kwargs("SweepEngine")
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = checkpoint_dir
         self._mp_context = mp_context
         self._executor_factory = executor_factory or self._default_factory
         self.stats = EngineStats()
+
+    def _effective_spec(self, spec: JobSpec) -> JobSpec:
+        """Apply the (deprecated) engine-level default checkpoint policy."""
+        if spec.checkpoint_every is None and spec.checkpoint_dir is None:
+            spec = spec.with_policy(
+                checkpoint_every=self.checkpoint_every,
+                checkpoint_dir=self.checkpoint_dir,
+            )
+        return spec
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -269,16 +274,17 @@ class SweepEngine:
     # ------------------------------------------------------------------
     def run(
         self,
-        jobs: Sequence[SweepJob],
+        jobs: Sequence[JobSpec],
         progress: Optional[ProgressCallback] = None,
     ) -> List[dict]:
-        """Execute every job; payloads in input order.
+        """Execute every spec; payloads in input order.
 
         Simulation errors propagate; infrastructure failures (worker
         crashes, timeouts, pool creation failure) are retried and then
         absorbed by the in-process fallback.
         """
         self.stats = EngineStats()
+        jobs = [self._effective_spec(spec) for spec in jobs]
         total = len(jobs)
         results: List[Optional[dict]] = [None] * total
         if total == 0:
@@ -299,12 +305,7 @@ class SweepEngine:
                 ))
 
         def run_local(index: int, attempts_used: int) -> None:
-            payload = execute_job(
-                jobs[index],
-                checkpoint_every=self.checkpoint_every,
-                checkpoint_dir=self.checkpoint_dir,
-                resume=self.checkpoint_dir is not None,
-            )
+            payload = run_job(_resumable(jobs[index])).to_payload()
             finish(index, payload, "in-process", attempts_used)
 
         if self.max_workers == 1:
@@ -392,12 +393,7 @@ class SweepEngine:
                 while queue and len(inflight) < self.max_workers:
                     index = queue.popleft()
                     try:
-                        future = pool.submit(
-                            _worker_entry,
-                            jobs[index],
-                            self.checkpoint_every,
-                            self.checkpoint_dir,
-                        )
+                        future = pool.submit(_worker_entry, jobs[index])
                     except Exception:
                         queue.appendleft(index)
                         rebuild_pool(False, "submit failed")

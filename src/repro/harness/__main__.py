@@ -37,7 +37,12 @@ from .experiments import (
     table3_latency,
     table4_benchmarks,
 )
-from ..exec import ResultCache, add_execution_flags, validate_execution_flags
+from ..exec import (
+    ResultCache,
+    add_execution_flags,
+    add_job_flags,
+    validate_execution_flags,
+)
 from ..sim import profiler as _profiler
 from .runner import DEFAULT_LATENCY_SCALE, run_grid
 
@@ -65,16 +70,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         help="benchmark subset (default: all of Table 4)")
-    parser.add_argument("--scale", type=float, default=1.0,
-                        help="dataset scale factor (default 1.0)")
-    parser.add_argument("--latency-scale", type=float, default=DEFAULT_LATENCY_SCALE,
-                        help=f"launch-latency scale (default {DEFAULT_LATENCY_SCALE})")
     parser.add_argument("--figure", default=None,
                         help="one of: 6-12, table2, table3, table4, overhead")
-    parser.add_argument("--sanitize", action="store_true",
-                        help="run every simulation with the execution "
-                             "sanitizer (race/OOB/uninit/barrier/launch "
-                             "checks); any finding fails the run")
+    add_job_flags(parser, latency_scale_default=DEFAULT_LATENCY_SCALE)
     add_execution_flags(parser)
     parser.add_argument("--quiet", action="store_true", help="suppress progress")
     args = parser.parse_args(argv)

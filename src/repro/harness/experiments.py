@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..config import GPUConfig, LatencyModel
 from ..dtbl.overhead import overhead_report
-from ..exec import ResultCache, SweepJob
+from ..exec import JobSpec, ResultCache
 from ..runtime import ExecutionMode
 from ..workloads import benchmark_names, get_benchmark
 from .reporting import format_table, geomean, mean
@@ -306,7 +306,7 @@ def figure12_agt_sensitivity(
     """
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     specs = [
-        SweepJob.create(
+        JobSpec.create(
             name, DTBL, scale, latency_scale,
             config=GPUConfig.k20c().with_agt_entries(size),
         )

@@ -2,7 +2,7 @@
 
 Full-grid experiments (Figs. 6-11) all consume the same (benchmark, mode)
 simulations.  Every requested simulation is reduced to a
-:class:`~repro.exec.fingerprint.SweepJob` and its content fingerprint,
+:class:`~repro.exec.jobspec.JobSpec` and its content fingerprint,
 then resolved through three layers:
 
 1. an **in-process memo** (`_CACHE`) keyed by the fingerprint — the old
@@ -28,8 +28,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import GPUConfig
 from ..errors import ReproError
-from ..exec import ResultCache, SweepEngine, SweepJob, execute_job
-from ..exec.pool import ProgressEvent
+from ..exec import JobSpec, ResultCache, SweepEngine, run_job
+from ..exec.pool import ProgressEvent, _resumable
 from ..runtime import ExecutionMode
 from ..sim.sanitizer import SanitizerReport
 from ..sim.stats import SimStats
@@ -100,7 +100,7 @@ class GridResults:
 _CACHE: Dict[str, BenchmarkRun] = {}
 
 
-def _run_from_payload(job: SweepJob, payload: dict) -> BenchmarkRun:
+def _run_from_payload(job: JobSpec, payload: dict) -> BenchmarkRun:
     """Decode an execution/cache payload into a :class:`BenchmarkRun`."""
     sanitizer = payload.get("sanitizer")
     return BenchmarkRun(
@@ -121,7 +121,7 @@ def _payload_from_run(run: BenchmarkRun) -> dict:
     }
 
 
-def _print_run(job: SweepJob, run: BenchmarkRun, note: str = "") -> None:
+def _print_run(job: JobSpec, run: BenchmarkRun, note: str = "") -> None:
     suffix = f"  [{note}]" if note else ""
     print(
         f"  {job.benchmark:14s} {job.mode.value:6s} cycles={run.cycles:>10,} "
@@ -130,7 +130,7 @@ def _print_run(job: SweepJob, run: BenchmarkRun, note: str = "") -> None:
 
 
 def run_jobs(
-    specs: Sequence[SweepJob],
+    specs: Sequence[JobSpec],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     use_memo: bool = True,
@@ -149,8 +149,20 @@ def run_jobs(
     With ``checkpoint_dir`` set, simulations checkpoint their state every
     ``checkpoint_every`` cycles under ``<dir>/<fingerprint>.ckpt`` and
     every attempt — serial, worker, retry or fallback — resumes from an
-    existing checkpoint (see :mod:`repro.state`).
+    existing checkpoint (see :mod:`repro.state`).  The policy is stamped
+    onto each spec (specs that already carry one keep theirs), so one
+    :class:`~repro.exec.JobSpec` is the only parameter bundle the engine
+    and the serial path ever see.
     """
+    if checkpoint_every is not None or checkpoint_dir is not None:
+        specs = [
+            spec.with_policy(
+                checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
+            )
+            if spec.checkpoint_every is None and spec.checkpoint_dir is None
+            else spec
+            for spec in specs
+        ]
     runs: Dict[int, BenchmarkRun] = {}
     keys = [job.fingerprint() for job in specs]
     todo: List[int] = []
@@ -190,11 +202,7 @@ def run_jobs(
     if todo:
         todo_jobs = [specs[i] for i in todo]
         if jobs > 1:
-            engine = engine or SweepEngine(
-                max_workers=jobs,
-                checkpoint_every=checkpoint_every,
-                checkpoint_dir=checkpoint_dir,
-            )
+            engine = engine or SweepEngine(max_workers=jobs)
 
             def on_event(event: ProgressEvent) -> None:
                 if not verbose:
@@ -218,12 +226,7 @@ def run_jobs(
         else:
             payloads = []
             for job in todo_jobs:
-                payload = execute_job(
-                    job,
-                    checkpoint_every=checkpoint_every,
-                    checkpoint_dir=checkpoint_dir,
-                    resume=checkpoint_dir is not None,
-                )
+                payload = run_job(_resumable(job)).to_payload()
                 payloads.append(payload)
                 if verbose:
                     _print_run(job, _run_from_payload(job, payload))
@@ -259,7 +262,7 @@ def run_benchmark(
     on-disk result store (both reads and writes — ``cache=None`` bypasses
     the disk entirely).
     """
-    job = SweepJob.create(
+    job = JobSpec.create(
         name, mode, scale, latency_scale, config=config, verify=verify
     )
     return run_jobs([job], cache=cache, use_memo=use_cache)[0]
@@ -288,7 +291,7 @@ def run_grid(
     """
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     specs = [
-        SweepJob.create(
+        JobSpec.create(
             name, mode, scale, latency_scale, config=config, verify=verify
         )
         for name in names

@@ -1,0 +1,36 @@
+"""repro.serve: an async simulation daemon behind the JobSpec API.
+
+A long-running asyncio daemon that serves concurrent sweep traffic over
+HTTP/JSON (stdlib only).  Clients submit :class:`~repro.exec.JobSpec`
+documents — the same canonical job model the CLIs and the sweep engine
+consume — and get back the same bit-identical results, because the
+daemon's worker processes run the same single execution path
+(:func:`repro.exec.run_job`).
+
+Start it::
+
+    python -m repro.serve --port 8642 --workers 4
+
+and talk to it with :class:`ServeClient` (or plain ``curl`` — see
+``docs/serving.md``).  Features: priority queue with checkpoint-backed
+preemption, per-client quotas (429), one shared warm result cache,
+fingerprint-level dedup of concurrent identical submissions, and NDJSON
+progress-event streaming.
+"""
+
+from .client import JobFailed, ServeClient, ServeError
+from .jobs import JobManager, ManagerStats, QuotaExceeded, ServeConfig, UnknownJob
+from .server import ReproServer, run_server
+
+__all__ = [
+    "JobFailed",
+    "JobManager",
+    "ManagerStats",
+    "QuotaExceeded",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "UnknownJob",
+    "run_server",
+]

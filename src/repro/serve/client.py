@@ -1,0 +1,178 @@
+"""Stdlib HTTP client for the :mod:`repro.serve` daemon.
+
+:class:`ServeClient` wraps the daemon's JSON endpoints (see
+:mod:`repro.serve.server`) behind the same vocabulary the rest of the
+repository uses: submit :class:`~repro.exec.JobSpec`\\ s, get
+:class:`~repro.exec.JobResult`\\ s back.
+
+Quickstart::
+
+    from repro import ExecutionMode, JobSpec
+    from repro.serve import ServeClient
+
+    client = ServeClient(port=8642, client="alice")
+    info = client.submit(JobSpec.create("bht", ExecutionMode.DTBL,
+                                        scale=0.1, latency_scale=0.25))
+    result = client.result(client.wait(info["id"])["id"])
+    print(result.stats.cycles, result.source)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..exec import JobResult, JobSpec
+
+SpecLike = Union[JobSpec, dict]
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level error from the daemon (carries ``.status``)."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(payload.get("error") or f"HTTP {status}")
+        self.status = status
+        self.payload = payload
+
+
+class JobFailed(ServeError):
+    """The submitted job reached a terminal non-``done`` state."""
+
+
+class ServeClient:
+    """Talk to one daemon; every request is a fresh connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        client: str = "anon",
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client = client
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            encoded = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if encoded else {}
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode("utf-8") or "{}")
+        finally:
+            conn.close()
+        if response.status >= 400:
+            raise ServeError(response.status, payload)
+        return payload
+
+    @staticmethod
+    def _spec_dict(spec: SpecLike) -> dict:
+        return spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: SpecLike, priority: int = 0) -> dict:
+        """Submit one job; returns its info dict (``info["id"]``)."""
+        return self._request("POST", "/jobs", {
+            "spec": self._spec_dict(spec),
+            "client": self.client,
+            "priority": priority,
+        })
+
+    def submit_sweep(self, specs: Sequence[SpecLike], priority: int = 0) -> List[dict]:
+        """Submit a batch; returns one info dict per spec, in order."""
+        payload = self._request("POST", "/sweeps", {
+            "specs": [self._spec_dict(spec) for spec in specs],
+            "client": self.client,
+            "priority": priority,
+        })
+        return payload["jobs"]
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns its final info."""
+        deadline = time.monotonic() + timeout
+        while True:
+            info = self.job(job_id)
+            if info["status"] in ("done", "failed", "cancelled"):
+                return info
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {info['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's NDJSON lifecycle events until it is terminal."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                payload = json.loads(response.read().decode("utf-8") or "{}")
+                raise ServeError(response.status, payload)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self, job_id: str) -> JobResult:
+        """The finished job's :class:`~repro.exec.JobResult`.
+
+        Raises :class:`ServeError` (409) while the job is still pending
+        and :class:`JobFailed` when it failed or was cancelled.
+        """
+        try:
+            payload = self._request("GET", f"/jobs/{job_id}/result")
+        except ServeError as exc:
+            if exc.payload.get("status") in ("failed", "cancelled"):
+                raise JobFailed(exc.status, exc.payload) from None
+            raise
+        return JobResult.from_payload(
+            payload["payload"],
+            fingerprint=payload["fingerprint"],
+            source=payload["source"],
+        )
+
+    def run(self, spec: SpecLike, priority: int = 0, timeout: float = 600.0) -> JobResult:
+        """Submit, wait, fetch: the one-call convenience path."""
+        info = self.submit(spec, priority=priority)
+        final = self.wait(info["id"], timeout=timeout)
+        if final["status"] != "done":
+            raise JobFailed(409, {
+                "error": f"job {final['id']} {final['status']}: {final.get('error')}",
+                "status": final["status"],
+            })
+        return self.result(info["id"])
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def status(self) -> dict:
+        return self._request("GET", "/status")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")

@@ -1,0 +1,587 @@
+"""Job management for the :mod:`repro.serve` daemon.
+
+:class:`JobManager` owns everything between "a client submitted a
+:class:`~repro.exec.JobSpec`" and "the result payload is available":
+
+* a **priority queue** — submissions carry an integer priority; the
+  highest-priority queued job runs next (FIFO within a priority);
+* **per-client quotas** — each client name may have at most
+  ``ServeConfig.quota`` non-terminal jobs in the daemon; submissions over
+  the quota raise :class:`QuotaExceeded` (the server maps it to a
+  ``429 Too Many Requests``);
+* a **shared warm result cache** — one
+  :class:`~repro.exec.cache.ResultCache` serves every client: a
+  submission whose fingerprint is already on disk completes immediately
+  (``source="cache"``) without occupying a worker;
+* **leader/follower dedup** — a submission whose fingerprint matches a
+  queued or running job becomes a *follower*: it consumes no worker and
+  completes with the leader's payload (``source="shared"``);
+* **process workers** — up to ``ServeConfig.workers`` jobs simulate
+  concurrently, each in its own ``multiprocessing`` process running
+  :func:`~repro.exec.jobspec.run_job` (the same single execution path as
+  the CLIs and the sweep engine, which is what makes daemon results
+  bit-identical to one-shot runs).  Workers spool their result to a
+  private JSON file; the event loop watches each process sentinel with
+  ``loop.add_reader`` — no polling;
+* **checkpoint-backed preemption** — when every worker is busy and a
+  higher-priority job arrives, the lowest-priority running job is
+  killed and requeued with ``resume=True``.  The daemon stamps its
+  checkpoint policy onto specs that carry none, so the victim resumes
+  from its last periodic snapshot (:mod:`repro.state.snapshot`) and —
+  because checkpoint/restore is bit-identical and the simulation is
+  deterministic — finishes with exactly the ``SimStats`` an undisturbed
+  run produces.
+
+Everything runs on one asyncio event loop thread; handlers never block
+on simulation work.
+
+Test hook: ``REPRO_SERVE_TEST_CKPT_SLEEP`` (seconds) makes *worker
+processes* sleep at every checkpoint, stretching wall time
+deterministically without touching simulated state — the preemption
+tests use it to keep a victim alive long enough to be preempted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..exec import DEFAULT_CACHE_DIR, JobSpec, ResultCache, run_job
+from ..exec.pool import _resumable
+
+#: Default directory for daemon checkpoint files.
+DEFAULT_SERVE_CHECKPOINT_DIR = ".repro-serve/checkpoints"
+#: Default directory for worker result spool files.
+DEFAULT_SERVE_SPOOL_DIR = ".repro-serve/spool"
+#: Default checkpoint interval stamped onto submitted specs (cycles).
+DEFAULT_SERVE_CHECKPOINT_EVERY = 20_000
+
+#: Job states a client can observe.
+TERMINAL = frozenset({"done", "failed", "cancelled"})
+
+
+class QuotaExceeded(RuntimeError):
+    """A client exceeded its concurrent-job quota (HTTP 429)."""
+
+
+class UnknownJob(KeyError):
+    """No job with that id (HTTP 404)."""
+
+
+@dataclass
+class ServeConfig:
+    """Daemon policy knobs (see ``python -m repro.serve --help``)."""
+
+    workers: int = 2
+    #: Max non-terminal jobs per client name.
+    quota: int = 8
+    #: Result cache directory; ``None`` disables the shared cache.
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR
+    #: Checkpoint policy stamped onto specs that carry none.  Periodic
+    #: checkpoints are what makes preemption cheap; ``None`` disables
+    #: stamping (specs may still bring their own policy).
+    checkpoint_every: Optional[int] = DEFAULT_SERVE_CHECKPOINT_EVERY
+    checkpoint_dir: str = DEFAULT_SERVE_CHECKPOINT_DIR
+    spool_dir: str = DEFAULT_SERVE_SPOOL_DIR
+    #: Infrastructure retries: a worker that dies without producing a
+    #: result (OOM kill, crash) is re-run, resuming from its checkpoint.
+    worker_retries: int = 1
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=path.name, suffix=".tmp", dir=path.parent)
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def _serve_worker(spec_data: dict, spool_path: str) -> None:
+    """Worker-process entry: run one spec, spool the outcome as JSON.
+
+    The spool file is the only channel back to the daemon; it is written
+    atomically so the parent never reads a half-written result.  All
+    exceptions — simulation errors, verification failures — are reported
+    through it; only an abrupt death (kill, crash) leaves no file.
+    """
+    spec = JobSpec.from_dict(spec_data)
+    on_checkpoint = None
+    sleep = os.environ.get("REPRO_SERVE_TEST_CKPT_SLEEP")
+    if sleep:
+        delay = float(sleep)
+
+        def on_checkpoint(doc, _delay=delay):
+            time.sleep(_delay)
+
+    try:
+        result = run_job(_resumable(spec), on_checkpoint=on_checkpoint)
+        outcome = {"ok": True, "payload": result.to_payload()}
+    except BaseException as exc:  # report, don't vanish
+        outcome = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    _atomic_write_json(Path(spool_path), outcome)
+
+
+@dataclass
+class Job:
+    """One submission's full lifecycle state (daemon-internal)."""
+
+    id: str
+    client: str
+    priority: int
+    spec: JobSpec
+    fingerprint: str
+    seq: int
+    status: str = "queued"
+    #: ``"run"``, ``"cache"`` or ``"shared"`` once done.
+    source: Optional[str] = None
+    attempts: int = 0
+    preemptions: int = 0
+    error: Optional[str] = None
+    payload: Optional[dict] = None
+    events: List[dict] = field(default_factory=list)
+    proc: Optional[multiprocessing.process.BaseProcess] = None
+    spool: Optional[Path] = None
+    #: Leader job id when this submission is a dedup follower.
+    leader: Optional[str] = None
+    followers: List[str] = field(default_factory=list)
+    #: Why the running process is being killed (``"preempt"``,
+    #: ``"cancel"`` or ``"shutdown"``); ``None`` while healthy.
+    kill_reason: Optional[str] = None
+
+    def info(self) -> dict:
+        """The JSON-safe view clients see."""
+        return {
+            "id": self.id,
+            "client": self.client,
+            "priority": self.priority,
+            "status": self.status,
+            "fingerprint": self.fingerprint,
+            "label": self.spec.label(),
+            "spec": self.spec.to_dict(),
+            "source": self.source,
+            "attempts": self.attempts,
+            "preemptions": self.preemptions,
+            "error": self.error,
+            "leader": self.leader,
+        }
+
+
+@dataclass
+class ManagerStats:
+    """Daemon-lifetime counters (the ``/status`` endpoint)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    cache_hits: int = 0
+    shared: int = 0
+    preemptions: int = 0
+    retries: int = 0
+    quota_rejections: int = 0
+
+
+class JobManager:
+    """Owns the queue, the workers and every job's state.
+
+    All methods must be called from the event loop thread (the server's
+    request handlers); :meth:`start` binds the loop.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.stats = ManagerStats()
+        self.cache: Optional[ResultCache] = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        self._jobs: Dict[str, Job] = {}
+        self._heap: List = []  # (-priority, seq, job_id)
+        self._running: Dict[str, Job] = {}
+        self._inflight: Dict[str, str] = {}  # fingerprint -> leader job id
+        self._active_per_client: Dict[str, int] = {}
+        self._seq = itertools.count()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: Replaced-and-set on every event append (monitor pattern);
+        #: streamers snapshot it before scanning, await the snapshot.
+        self._turn = asyncio.Event()
+        self._closed = False
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            self._ctx = multiprocessing.get_context("spawn")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        Path(self.config.spool_dir).mkdir(parents=True, exist_ok=True)
+        if self.config.checkpoint_every is not None:
+            Path(self.config.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+
+    def shutdown(self) -> None:
+        """Refuse new work, kill workers, cancel everything queued."""
+        self._closed = True
+        for job in list(self._running.values()):
+            if job.kill_reason is None:
+                job.kill_reason = "shutdown"
+                if job.proc is not None:
+                    job.proc.kill()
+        for job in list(self._jobs.values()):
+            if job.status == "queued" and job.id not in self._running:
+                self._finish(job, "cancelled")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _effective(self, spec: JobSpec) -> JobSpec:
+        """Stamp the daemon's checkpoint policy onto policy-free specs."""
+        if (
+            self.config.checkpoint_every is not None
+            and spec.checkpoint_every is None
+            and spec.checkpoint_dir is None
+        ):
+            spec = spec.with_policy(
+                checkpoint_every=self.config.checkpoint_every,
+                checkpoint_dir=self.config.checkpoint_dir,
+            )
+        return spec
+
+    def submit(self, spec, client: str = "anon", priority: int = 0) -> dict:
+        """Register one job; returns its info dict immediately.
+
+        ``spec`` is a :class:`JobSpec` or its ``to_dict`` form (the wire
+        format).  Raises :class:`~repro.exec.SpecError` on a bad spec and
+        :class:`QuotaExceeded` when the client is over quota.
+        """
+        if self._closed:
+            raise RuntimeError("daemon is shutting down")
+        if not isinstance(spec, JobSpec):
+            spec = JobSpec.from_dict(spec)
+        spec = self._effective(spec.validate())
+        fingerprint = spec.fingerprint()
+        seq = next(self._seq)
+        job = Job(
+            id=f"j{seq:06d}", client=str(client), priority=int(priority),
+            spec=spec, fingerprint=fingerprint, seq=seq,
+        )
+        self.stats.submitted += 1
+
+        # Warm-cache fast path: terminal instantly, never counts toward
+        # the quota and never occupies a worker.
+        if self.cache is not None:
+            payload = self.cache.load(fingerprint)
+            if payload is not None:
+                self._jobs[job.id] = job
+                self._event(job, "queued")
+                job.payload, job.source = payload, "cache"
+                self.stats.cache_hits += 1
+                self._finish(job, "done")
+                return job.info()
+
+        active = self._active_per_client.get(job.client, 0)
+        if active >= self.config.quota:
+            self.stats.quota_rejections += 1
+            raise QuotaExceeded(
+                f"client {job.client!r} has {active} active jobs "
+                f"(quota {self.config.quota})"
+            )
+
+        self._jobs[job.id] = job
+        self._active_per_client[job.client] = active + 1
+        leader_id = self._inflight.get(fingerprint)
+        leader = self._jobs.get(leader_id) if leader_id else None
+        if leader is not None and leader.status not in TERMINAL:
+            job.leader = leader.id
+            leader.followers.append(job.id)
+            self._event(job, "queued", shared_with=leader.id)
+        else:
+            self._inflight[fingerprint] = job.id
+            heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+            self._event(job, "queued")
+            self._schedule()
+        return job.info()
+
+    def submit_sweep(self, specs, client: str = "anon", priority: int = 0) -> List[dict]:
+        """Submit a batch atomically: all accepted or none (quota-wise)."""
+        accepted: List[dict] = []
+        try:
+            for spec in specs:
+                accepted.append(self.submit(spec, client=client, priority=priority))
+        except Exception:
+            for info in accepted:
+                self.cancel(info["id"])
+            raise
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJob(job_id) from None
+
+    def status(self) -> dict:
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.status] = states.get(job.status, 0) + 1
+        payload = {
+            "workers": self.config.workers,
+            "quota": self.config.quota,
+            "running": len(self._running),
+            "jobs": states,
+            "stats": vars(self.stats).copy(),
+        }
+        if self.cache is not None:
+            payload["cache"] = {
+                "dir": str(self.cache.root),
+                "stats": vars(self.cache.stats).copy(),
+            }
+        return payload
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> dict:
+        job = self.get(job_id)
+        if job.status in TERMINAL:
+            return job.info()
+        if job.id in self._running:
+            if job.kill_reason is None:
+                job.kill_reason = "cancel"
+                job.proc.kill()
+            return job.info()  # terminal once the sentinel fires
+        if job.leader is not None:
+            leader = self._jobs.get(job.leader)
+            if leader is not None and job.id in leader.followers:
+                leader.followers.remove(job.id)
+            self._finish(job, "cancelled")
+            return job.info()
+        # Queued leader: promote a follower, then drop out of the queue
+        # (the heap entry is skipped lazily once status != queued).
+        self._promote_follower(job)
+        self._finish(job, "cancelled")
+        return job.info()
+
+    def _promote_follower(self, leader: Job) -> None:
+        """Hand a dying leader's role to its first follower, if any."""
+        if self._inflight.get(leader.fingerprint) == leader.id:
+            del self._inflight[leader.fingerprint]
+        while leader.followers:
+            heir = self._jobs.get(leader.followers.pop(0))
+            if heir is None or heir.status in TERMINAL:
+                continue
+            heir.leader = None
+            heir.followers = leader.followers
+            leader.followers = []
+            # The checkpoint file is keyed by fingerprint, so the heir
+            # resumes whatever progress the leader had banked.
+            if heir.spec.checkpoint_dir is not None:
+                heir.spec = heir.spec.with_policy(resume=True)
+            self._inflight[heir.fingerprint] = heir.id
+            heapq.heappush(self._heap, (-heir.priority, heir.seq, heir.id))
+            self._event(heir, "promoted")
+            self._schedule()
+            return
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _next_queued(self) -> Optional[Job]:
+        while self._heap:
+            _, _, job_id = self._heap[0]
+            job = self._jobs.get(job_id)
+            if job is None or job.status != "queued" or job_id in self._running:
+                heapq.heappop(self._heap)
+                continue
+            return job
+        return None
+
+    def _schedule(self) -> None:
+        while True:
+            job = self._next_queued()
+            if job is None:
+                return
+            if len(self._running) < self.config.workers:
+                heapq.heappop(self._heap)
+                self._start(job)
+                continue
+            # Full house: preempt the lowest-priority healthy worker if
+            # the queue head outranks it.  The slot frees when the
+            # victim's sentinel fires; scheduling resumes there.
+            candidates = [
+                j for j in self._running.values() if j.kill_reason is None
+            ]
+            if not candidates:
+                return
+            victim = min(candidates, key=lambda j: (j.priority, -j.seq))
+            if job.priority <= victim.priority:
+                return
+            victim.kill_reason = "preempt"
+            victim.proc.kill()
+            self.stats.preemptions += 1
+            self._event(victim, "preempting", by=job.id)
+            return
+
+    def _start(self, job: Job) -> None:
+        job.status = "running"
+        job.attempts += 1
+        spec = job.spec if job.attempts == 1 else _resumable(job.spec)
+        job.spool = Path(self.config.spool_dir) / f"{job.id}-{job.attempts}.json"
+        proc = self._ctx.Process(
+            target=_serve_worker,
+            args=(spec.to_dict(), str(job.spool)),
+            daemon=True,
+        )
+        proc.start()
+        job.proc = proc
+        self._running[job.id] = job
+        self._loop.add_reader(proc.sentinel, self._on_exit, job)
+        self._event(job, "started", attempt=job.attempts)
+
+    # ------------------------------------------------------------------
+    # Worker completion
+    # ------------------------------------------------------------------
+    def _read_spool(self, job: Job) -> Optional[dict]:
+        try:
+            raw = job.spool.read_text(encoding="utf-8")
+            outcome = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        finally:
+            try:
+                job.spool.unlink()
+            except OSError:
+                pass
+        return outcome if isinstance(outcome, dict) else None
+
+    def _requeue(self, job: Job, event: str) -> None:
+        # Resume from the last periodic checkpoint (fingerprint-keyed
+        # file; a missing one just means a fresh, still-correct start).
+        if job.spec.checkpoint_dir is not None:
+            job.spec = job.spec.with_policy(resume=True)
+        job.status = "queued"
+        heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+        self._event(job, event, resume=job.spec.resume)
+
+    def _on_exit(self, job: Job) -> None:
+        proc = job.proc
+        self._loop.remove_reader(proc.sentinel)
+        proc.join()
+        exitcode = proc.exitcode
+        self._running.pop(job.id, None)
+        job.proc = None
+        reason, job.kill_reason = job.kill_reason, None
+
+        if reason in ("cancel", "shutdown"):
+            if job.spool is not None:
+                try:
+                    job.spool.unlink()
+                except OSError:
+                    pass
+            self._promote_follower(job)
+            self._finish(job, "cancelled")
+        elif reason == "preempt":
+            job.preemptions += 1
+            self._requeue(job, "requeued")
+        else:
+            outcome = self._read_spool(job)
+            if outcome is None:
+                if job.attempts <= self.config.worker_retries:
+                    self.stats.retries += 1
+                    self._requeue(job, "retrying")
+                else:
+                    job.error = f"worker exited with code {exitcode}"
+                    self._fail(job)
+            elif outcome.get("ok"):
+                self._complete(job, outcome["payload"])
+            else:
+                job.error = str(outcome.get("error"))
+                self._fail(job)
+        self._schedule()
+
+    def _complete(self, job: Job, payload: dict) -> None:
+        if self.cache is not None:
+            self.cache.store(job.fingerprint, payload)
+        job.payload, job.source = payload, "run"
+        self._finish(job, "done")
+        for follower_id in job.followers:
+            follower = self._jobs.get(follower_id)
+            if follower is None or follower.status in TERMINAL:
+                continue
+            follower.payload, follower.source = payload, "shared"
+            self.stats.shared += 1
+            self._finish(follower, "done")
+        job.followers = []
+
+    def _fail(self, job: Job) -> None:
+        self._finish(job, "failed")
+        for follower_id in job.followers:
+            follower = self._jobs.get(follower_id)
+            if follower is None or follower.status in TERMINAL:
+                continue
+            follower.error = f"shared job {job.id} failed: {job.error}"
+            self._finish(follower, "failed")
+        job.followers = []
+
+    def _finish(self, job: Job, status: str) -> None:
+        job.status = status
+        if status == "done":
+            self.stats.completed += 1
+        elif status == "failed":
+            self.stats.failed += 1
+        elif status == "cancelled":
+            self.stats.cancelled += 1
+        if job.leader is None and self._inflight.get(job.fingerprint) == job.id:
+            del self._inflight[job.fingerprint]
+        if job.source != "cache":  # cache hits were never counted active
+            count = self._active_per_client.get(job.client, 0)
+            if count > 1:
+                self._active_per_client[job.client] = count - 1
+            else:
+                self._active_per_client.pop(job.client, None)
+        self._event(job, status)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def _event(self, job: Job, name: str, **extra) -> None:
+        event = {"event": name, "job": job.id, "status": job.status,
+                 "label": job.spec.label(), "ts": time.time()}
+        event.update(extra)
+        job.events.append(event)
+        turn, self._turn = self._turn, asyncio.Event()
+        turn.set()
+
+    async def stream(self, job_id: str):
+        """Async-iterate a job's events; ends after its terminal event."""
+        job = self.get(job_id)
+        index = 0
+        while True:
+            turn = self._turn  # snapshot before scanning: no lost wakeups
+            while index < len(job.events):
+                event = job.events[index]
+                index += 1
+                yield event
+                if event["event"] in TERMINAL:
+                    return
+            await turn.wait()

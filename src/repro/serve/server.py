@@ -1,0 +1,244 @@
+"""Minimal asyncio HTTP front-end for the simulation daemon.
+
+Stdlib-only: a hand-rolled HTTP/1.1 server on ``asyncio.start_server``
+speaking JSON, plus one NDJSON streaming endpoint.  Endpoints:
+
+====== ========================= =========================================
+Method Path                      Meaning
+====== ========================= =========================================
+POST   ``/jobs``                 submit one spec -> ``202`` job info
+POST   ``/sweeps``               submit a batch -> ``202`` list of infos
+GET    ``/jobs/<id>``            job status/info
+GET    ``/jobs/<id>/result``     result payload (``409`` until done)
+GET    ``/jobs/<id>/events``     NDJSON stream of lifecycle events
+POST   ``/jobs/<id>/cancel``     cancel (kills a running worker)
+GET    ``/status``               daemon/queue/cache counters
+POST   ``/shutdown``             drain and exit cleanly
+====== ========================= =========================================
+
+Request bodies are JSON: ``{"spec": {...}, "client": "...",
+"priority": 0}`` for ``/jobs``; ``{"specs": [...], ...}`` for
+``/sweeps`` (``spec`` objects are :meth:`repro.exec.JobSpec.to_dict`
+documents).  Error mapping: bad spec/body -> ``400``, unknown job ->
+``404``, result not ready -> ``409``, quota exceeded -> ``429``,
+shutting down -> ``503``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from ..exec import SpecError
+from .jobs import JobManager, QuotaExceeded, ServeConfig, UnknownJob
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class _BadRequest(Exception):
+    pass
+
+
+async def _read_request(reader) -> Tuple[str, str, dict]:
+    """Parse one request; returns ``(method, path, json_body)``."""
+    line = await reader.readline()
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _BadRequest("malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _BadRequest("bad Content-Length") from None
+    body: dict = {}
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw)
+        except ValueError:
+            raise _BadRequest("request body is not valid JSON") from None
+        if not isinstance(body, dict):
+            raise _BadRequest("request body must be a JSON object")
+    return method, target.split("?", 1)[0], body
+
+
+def _response(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+class ReproServer:
+    """One daemon instance: a :class:`JobManager` behind a socket."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = JobManager(config)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block until ``/shutdown`` (or :meth:`stop`) fires."""
+        await self._stop.wait()
+        self.manager.shutdown()
+        self._server.close()
+        await self._server.wait_closed()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+            except (_BadRequest, asyncio.IncompleteReadError) as exc:
+                writer.write(_response(400, {"error": str(exc)}))
+                return
+            try:
+                await self._route(method, path, body, writer)
+            except QuotaExceeded as exc:
+                writer.write(_response(429, {
+                    "error": str(exc), "quota": self.manager.config.quota,
+                }))
+            except UnknownJob as exc:
+                writer.write(_response(404, {"error": f"unknown job {exc}"}))
+            except SpecError as exc:
+                writer.write(_response(400, {"error": str(exc)}))
+            except (_BadRequest, TypeError, ValueError) as exc:
+                writer.write(_response(400, {"error": str(exc)}))
+            except RuntimeError as exc:
+                writer.write(_response(503, {"error": str(exc)}))
+            except Exception as exc:  # pragma: no cover - defensive
+                writer.write(_response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}
+                ))
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _route(self, method: str, path: str, body: dict, writer) -> None:
+        manager = self.manager
+        if path == "/jobs" and method == "POST":
+            if "spec" not in body:
+                raise _BadRequest('body must carry a "spec" object')
+            info = manager.submit(
+                body["spec"],
+                client=str(body.get("client", "anon")),
+                priority=int(body.get("priority", 0)),
+            )
+            writer.write(_response(202, info))
+        elif path == "/sweeps" and method == "POST":
+            specs = body.get("specs")
+            if not isinstance(specs, list) or not specs:
+                raise _BadRequest('body must carry a non-empty "specs" list')
+            infos = manager.submit_sweep(
+                specs,
+                client=str(body.get("client", "anon")),
+                priority=int(body.get("priority", 0)),
+            )
+            writer.write(_response(202, {"jobs": infos}))
+        elif path == "/status" and method == "GET":
+            writer.write(_response(200, manager.status()))
+        elif path == "/shutdown" and method == "POST":
+            writer.write(_response(200, {"status": "shutting down"}))
+            self.stop()
+        elif path.startswith("/jobs/"):
+            await self._route_job(method, path, writer)
+        else:
+            writer.write(_response(404, {"error": f"no route {method} {path}"}))
+
+    async def _route_job(self, method: str, path: str, writer) -> None:
+        manager = self.manager
+        parts = path.split("/")  # ["", "jobs", "<id>"] or + ["<verb>"]
+        job_id = parts[2]
+        verb = parts[3] if len(parts) > 3 else None
+        if verb is None and method == "GET":
+            writer.write(_response(200, manager.get(job_id).info()))
+        elif verb == "result" and method == "GET":
+            job = manager.get(job_id)
+            if job.status == "done":
+                writer.write(_response(200, {
+                    "id": job.id, "fingerprint": job.fingerprint,
+                    "source": job.source, "payload": job.payload,
+                }))
+            elif job.status in ("failed", "cancelled"):
+                writer.write(_response(409, {
+                    "error": f"job {job.id} {job.status}: {job.error}",
+                    "status": job.status,
+                }))
+            else:
+                writer.write(_response(409, {
+                    "error": f"job {job.id} is {job.status}",
+                    "status": job.status,
+                }))
+        elif verb == "events" and method == "GET":
+            manager.get(job_id)  # 404 before committing to a stream
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            await writer.drain()
+            async for event in manager.stream(job_id):
+                writer.write(json.dumps(event).encode("utf-8") + b"\n")
+                await writer.drain()
+        elif verb == "cancel" and method == "POST":
+            writer.write(_response(200, manager.cancel(job_id)))
+        else:
+            writer.write(_response(404, {"error": f"no route {method} {path}"}))
+
+
+async def run_server(
+    config: Optional[ServeConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = False,
+) -> None:
+    """Start a daemon and serve until ``/shutdown``."""
+    server = ReproServer(config, host=host, port=port)
+    await server.start()
+    if not quiet:
+        # The discovery line tests and scripts parse; keep the format.
+        print(f"repro.serve listening on http://{server.host}:{server.port}",
+              flush=True)
+    await server.serve_forever()

@@ -420,7 +420,11 @@ class GPU:
         heappop = heapq.heappop
         heappush = heapq.heappush
         cycle = self.cycle
-        next_ckpt = cycle + ckpt_every if ckpt_every else _FAR_FUTURE
+        next_ckpt = cycle + ckpt_every if ckpt_every else far
+        # One fused bound guards both the watchdog and the next periodic
+        # checkpoint, so the checkpoint-off hot path pays exactly one
+        # compare per cycle advance (`next_ckpt` stays at `far`).
+        limit = next_ckpt if next_ckpt < watchdog_horizon else watchdog_horizon
         while True:
             # Visit `cycle`: deliver due events first — the reference
             # loop drains events before any SMX ticks at a visited
@@ -527,18 +531,29 @@ class GPU:
                 break
             if next_cycle <= cycle:
                 next_cycle = cycle + 1
-            if max_cycles is not None and next_cycle > max_cycles:
-                raise SimulationError(
-                    f"watchdog: simulation exceeded {max_cycles} cycles"
+            if next_cycle >= limit:
+                if next_cycle >= watchdog_horizon:
+                    raise SimulationError(
+                        f"watchdog: simulation exceeded {max_cycles} cycles"
+                    )
+                stats.resident_warp_cycles += self.active_warps * (
+                    next_cycle - cycle
                 )
-            stats.resident_warp_cycles += self.active_warps * (next_cycle - cycle)
-            self.cycle = cycle = next_cycle
-            # Checkpoint only at the inter-cycle boundary: events not yet
-            # drained at `cycle`, issue-budget locals lazily reset, so the
-            # captured state is exactly what a fresh loop entry would see.
-            if cycle >= next_ckpt:
+                self.cycle = cycle = next_cycle
+                # Checkpoint only at the inter-cycle boundary: events not
+                # yet drained at `cycle`, issue-budget locals lazily
+                # reset, so the captured state is exactly what a fresh
+                # loop entry would see.
                 checkpoint()
                 next_ckpt = cycle + ckpt_every
+                limit = (
+                    next_ckpt
+                    if next_ckpt < watchdog_horizon
+                    else watchdog_horizon
+                )
+                continue
+            stats.resident_warp_cycles += self.active_warps * (next_cycle - cycle)
+            self.cycle = cycle = next_cycle
         stats.cycles = self.cycle
         return stats
 
@@ -551,7 +566,13 @@ class GPU:
         """Reference loop: poll every SMX at every visited cycle."""
         events = self._events
         smxs = self.smxs
+        # Fused watchdog/checkpoint bound, as in :meth:`_run_fast`: the
+        # checkpoint-off path pays one compare per cycle advance.
+        watchdog_horizon = (
+            _FAR_FUTURE if max_cycles is None else max_cycles + 1
+        )
         next_ckpt = self.cycle + ckpt_every if ckpt_every else _FAR_FUTURE
+        limit = next_ckpt if next_ckpt < watchdog_horizon else watchdog_horizon
         while True:
             while events and events[0][0] <= self.cycle:
                 heapq.heappop(events)[2](self.cycle)
@@ -573,16 +594,26 @@ class GPU:
                 break
             if next_cycle <= self.cycle:
                 next_cycle = self.cycle + 1
-            if max_cycles is not None and next_cycle > max_cycles:
-                raise SimulationError(
-                    f"watchdog: simulation exceeded {max_cycles} cycles"
+            if next_cycle >= limit:
+                if next_cycle >= watchdog_horizon:
+                    raise SimulationError(
+                        f"watchdog: simulation exceeded {max_cycles} cycles"
+                    )
+                self.stats.resident_warp_cycles += self.active_warps * (
+                    next_cycle - self.cycle
                 )
+                self.cycle = next_cycle
+                checkpoint()
+                next_ckpt = next_cycle + ckpt_every
+                limit = (
+                    next_ckpt
+                    if next_ckpt < watchdog_horizon
+                    else watchdog_horizon
+                )
+                continue
             self.stats.resident_warp_cycles += self.active_warps * (
                 next_cycle - self.cycle
             )
             self.cycle = next_cycle
-            if next_cycle >= next_ckpt:
-                checkpoint()
-                next_ckpt = next_cycle + ckpt_every
         self.stats.cycles = self.cycle
         return self.stats

@@ -95,7 +95,7 @@ def capture_document(gpu, fingerprint: Optional[str] = None) -> dict:
     """Snapshot ``gpu`` into a self-describing checkpoint document.
 
     ``fingerprint`` optionally binds the checkpoint to one
-    :meth:`~repro.exec.fingerprint.SweepJob.fingerprint`, so a sweep
+    :meth:`~repro.exec.jobspec.JobSpec.fingerprint`, so a sweep
     worker never resumes from another job's file.
     """
     if gpu.tracer is not None:

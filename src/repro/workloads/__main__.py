@@ -8,25 +8,30 @@ Usage::
     python -m repro.workloads --list
 
 Like the harness, runs go through :mod:`repro.exec`: the requested modes
-execute in parallel under ``--jobs`` and results persist in the on-disk
-cache (``--cache-dir``, default ``.repro-cache/``) unless ``--no-cache``.
+become :class:`~repro.exec.JobSpec`\\ s (built by ``JobSpec.from_args``
+from the shared flag set in :mod:`repro.exec.cli`), execute in parallel
+under ``--jobs``, and results persist in the on-disk cache
+(``--cache-dir``, default ``.repro-cache/``) unless ``--no-cache``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import json
 
 from ..exec import (
+    JobSpec,
     ResultCache,
     SweepEngine,
-    SweepJob,
     add_execution_flags,
-    execute_job,
+    add_job_flags,
+    run_job,
     validate_execution_flags,
 )
+from ..exec.pool import _resumable
 from ..runtime import ExecutionMode
 from ..sim import profiler as _profiler
 from ..sim.stats import SimStats
@@ -41,11 +46,9 @@ def main(argv=None) -> int:
     parser.add_argument("benchmark", nargs="?", help="benchmark id (see --list)")
     parser.add_argument("--mode", nargs="*", default=["flat", "cdp", "dtbl"],
                         help="execution modes (flat cdp cdpi dtbl dtbli)")
-    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale")
-    parser.add_argument("--latency-scale", type=float, default=0.25,
-                        help="Table 3 launch-latency scale")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the reference-result check")
+    add_job_flags(parser)
     add_execution_flags(parser, profile_json=True)
     parser.add_argument("--list", action="store_true", help="list benchmarks")
     args = parser.parse_args(argv)
@@ -63,15 +66,18 @@ def main(argv=None) -> int:
         args.jobs = 1
         args.cache = False
         profiler = _profiler.activate()
+    if args.sanitize:
+        # The env switch reaches every GPU the workload constructs; a
+        # finding raises WorkloadError out of the run with the report.
+        os.environ["REPRO_SANITIZE"] = "1"
 
     cache = ResultCache(args.cache_dir) if args.cache else None
     jobs = [
-        SweepJob.create(
+        JobSpec.from_args(
+            args,
             args.benchmark,
             ExecutionMode.from_name(mode_name),
-            args.scale,
-            args.latency_scale,
-            verify=not args.no_verify,
+            checkpoint_dir=checkpoint_dir,
         )
         for mode_name in args.mode
     ]
@@ -87,21 +93,11 @@ def main(argv=None) -> int:
             payloads[key] = payload
     if missing:
         if args.jobs > 1 and len(missing) > 1:
-            engine = SweepEngine(
-                max_workers=args.jobs,
-                checkpoint_every=args.checkpoint_every,
-                checkpoint_dir=checkpoint_dir,
-            )
+            engine = SweepEngine(max_workers=args.jobs)
             fresh = engine.run(missing)
         else:
             fresh = [
-                execute_job(
-                    job,
-                    checkpoint_every=args.checkpoint_every,
-                    checkpoint_dir=checkpoint_dir,
-                    resume=checkpoint_dir is not None,
-                )
-                for job in missing
+                run_job(_resumable(job)).to_payload() for job in missing
             ]
         for job, payload in zip(missing, fresh):
             key = job.fingerprint()

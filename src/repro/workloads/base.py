@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import abc
 import os
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -95,6 +96,50 @@ class Workload(abc.ABC):
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def execute_spec(
+        self,
+        spec,
+        on_checkpoint=None,
+        memory_words: int = 4 * 1024 * 1024,
+        max_cycles: Optional[int] = 500_000_000,
+        optimize_kernels: bool = False,
+    ) -> WorkloadResult:
+        """Run this workload as described by a :class:`~repro.exec.JobSpec`.
+
+        The canonical execution entry point: config, latency scale,
+        verification and the whole checkpoint policy come from the spec
+        (``<checkpoint_dir>/<fingerprint>.ckpt``, stamped with the spec's
+        content fingerprint so a job never resumes from another job's
+        checkpoint).  :func:`repro.exec.run_job` is a thin wrapper that
+        also builds the workload from the spec.
+        """
+        if spec.mode is not self.mode:
+            raise WorkloadError(
+                f"{self.name}: spec mode {spec.mode.value!r} does not match "
+                f"workload mode {self.mode.value!r}"
+            )
+        checkpoint_path = fingerprint = None
+        if spec.checkpoint_dir is not None:
+            from ..state import checkpoint_path_for
+
+            fingerprint = spec.fingerprint()
+            checkpoint_path = str(
+                checkpoint_path_for(spec.checkpoint_dir, fingerprint)
+            )
+        return self._execute(
+            config=spec.config,
+            memory_words=memory_words,
+            verify=spec.verify,
+            max_cycles=max_cycles,
+            latency_scale=spec.latency_scale,
+            optimize_kernels=optimize_kernels,
+            checkpoint_every=spec.checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            resume=spec.resume,
+            on_checkpoint=on_checkpoint,
+            checkpoint_fingerprint=fingerprint,
+        )
+
     def execute(
         self,
         config: Optional[GPUConfig] = None,
@@ -116,12 +161,58 @@ class Workload(abc.ABC):
         ``optimize_kernels`` runs the peephole optimizer over every kernel
         before registration (results are still verified).
 
-        ``checkpoint_every`` snapshots the simulator to ``checkpoint_path``
-        (and/or ``on_checkpoint``) every N cycles; with ``resume=True`` a
-        valid checkpoint at ``checkpoint_path`` fast-forwards the run to
-        its saved cycle (stale or corrupt files are quarantined and the
-        run starts fresh).  The file is removed once the run completes.
+        The ``checkpoint_*``/``resume`` keywords are **deprecated**: the
+        checkpoint policy lives on :class:`~repro.exec.JobSpec` now (see
+        :meth:`execute_spec` and :func:`repro.exec.run_job`).  They keep
+        working — ``checkpoint_every`` snapshots the simulator to
+        ``checkpoint_path`` (and/or ``on_checkpoint``) every N cycles;
+        with ``resume=True`` a valid checkpoint at ``checkpoint_path``
+        fast-forwards the run to its saved cycle — but emit a
+        :class:`DeprecationWarning`.
         """
+        if (
+            checkpoint_every is not None
+            or checkpoint_path is not None
+            or resume
+            or checkpoint_fingerprint is not None
+        ):
+            warnings.warn(
+                "passing checkpoint_every/checkpoint_path/resume/"
+                "checkpoint_fingerprint to Workload.execute is deprecated; "
+                "put the execution policy on a JobSpec and use "
+                "Workload.execute_spec or repro.exec.run_job",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self._execute(
+            config=config,
+            memory_words=memory_words,
+            verify=verify,
+            max_cycles=max_cycles,
+            latency_scale=latency_scale,
+            optimize_kernels=optimize_kernels,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            on_checkpoint=on_checkpoint,
+            checkpoint_fingerprint=checkpoint_fingerprint,
+        )
+
+    def _execute(
+        self,
+        config: Optional[GPUConfig],
+        memory_words: int,
+        verify: bool,
+        max_cycles: Optional[int],
+        latency_scale: float,
+        optimize_kernels: bool,
+        checkpoint_every: Optional[int],
+        checkpoint_path,
+        resume: bool,
+        on_checkpoint,
+        checkpoint_fingerprint: Optional[str],
+    ) -> WorkloadResult:
+        """The real end-to-end execution (shared by both entry points)."""
         device = Device(
             config=config or GPUConfig.k20c(),
             mode=self.mode,

@@ -6,11 +6,15 @@ the first checkpoint any worker writes also creates a sentinel file and
 kills the worker *after* the checkpoint landed, so the retried attempt
 must resume from it.  Every recovered payload is compared bit-for-bit
 against an uninterrupted serial run.
+
+The checkpoint policy rides on the :class:`~repro.exec.JobSpec` itself
+(``checkpoint_every``/``checkpoint_dir``/``resume``); one test keeps the
+deprecated ``execute_job`` keyword bundle covered.
 """
 
 import pytest
 
-from repro.exec import SweepEngine, SweepJob, execute_job
+from repro.exec import JobSpec, SweepEngine, execute_job, run_job
 from repro.runtime import ExecutionMode
 from repro.state import checkpoint_path_for
 
@@ -22,14 +26,21 @@ class Interrupt(Exception):
     pass
 
 
-def _job():
-    return SweepJob.create("bht", ExecutionMode.DTBL, SCALE, 0.25)
+def _job(**policy):
+    return JobSpec.create("bht", ExecutionMode.DTBL, SCALE, 0.25, **policy)
+
+
+def _ck_job(tmp_path, resume=False):
+    return _job(
+        checkpoint_every=CKPT_EVERY, checkpoint_dir=str(tmp_path),
+        resume=resume,
+    )
 
 
 @pytest.fixture(scope="module")
 def clean_payload():
     """The golden payload: one uninterrupted, uncheckpointed run."""
-    return execute_job(_job())
+    return run_job(_job()).to_payload()
 
 
 class TestCrashRecovery:
@@ -41,12 +52,8 @@ class TestCrashRecovery:
         sentinel = tmp_path / "crash.sentinel"
         ckdir = tmp_path / "ckpts"
         monkeypatch.setenv("REPRO_EXEC_TEST_CRASH_AFTER_CKPT", str(sentinel))
-        engine = SweepEngine(
-            max_workers=2,
-            checkpoint_every=CKPT_EVERY,
-            checkpoint_dir=str(ckdir),
-        )
-        (payload,) = engine.run([_job()])
+        engine = SweepEngine(max_workers=2)
+        (payload,) = engine.run([_ck_job(ckdir)])
         assert sentinel.exists(), "the injected crash never fired"
         assert engine.stats.retries >= 1
         assert payload["stats"] == clean_payload["stats"]
@@ -54,28 +61,17 @@ class TestCrashRecovery:
         assert not list(ckdir.glob("*.ckpt"))
 
     def test_serial_interrupt_then_resume(self, tmp_path, clean_payload):
-        """The serial path (jobs=1) resumes from its own checkpoint."""
-        job = _job()
-        ckdir = str(tmp_path)
+        """The serial path resumes from its own checkpoint."""
+        job = _ck_job(tmp_path)
 
         def bomb(doc):
             raise Interrupt()
 
         with pytest.raises(Interrupt):
-            execute_job(
-                job,
-                checkpoint_every=CKPT_EVERY,
-                checkpoint_dir=ckdir,
-                on_checkpoint=bomb,
-            )
-        path = checkpoint_path_for(ckdir, job.fingerprint())
+            run_job(job, on_checkpoint=bomb)
+        path = checkpoint_path_for(str(tmp_path), job.fingerprint())
         assert path.exists(), "interrupt left no checkpoint behind"
-        payload = execute_job(
-            job,
-            checkpoint_every=CKPT_EVERY,
-            checkpoint_dir=ckdir,
-            resume=True,
-        )
+        payload = run_job(_ck_job(tmp_path, resume=True)).to_payload()
         assert payload["stats"] == clean_payload["stats"]
         assert not path.exists()
 
@@ -83,16 +79,10 @@ class TestCrashRecovery:
         self, tmp_path, clean_payload
     ):
         """Undecodable checkpoint bytes: quarantine, then run fresh."""
-        job = _job()
-        path = checkpoint_path_for(tmp_path, job.fingerprint())
+        path = checkpoint_path_for(tmp_path, _job().fingerprint())
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(b"REPRO-CKPT\x00garbage-not-zlib")
-        payload = execute_job(
-            job,
-            checkpoint_every=CKPT_EVERY,
-            checkpoint_dir=str(tmp_path),
-            resume=True,
-        )
+        payload = run_job(_ck_job(tmp_path, resume=True)).to_payload()
         assert payload["stats"] == clean_payload["stats"]
         assert not path.exists()
         assert path.with_suffix(".ckpt.corrupt").exists()
@@ -101,39 +91,23 @@ class TestCrashRecovery:
         self, tmp_path, clean_payload
     ):
         """A torn/truncated real checkpoint is quarantined, not trusted."""
-        job = _job()
-        ckdir = str(tmp_path)
+        job = _ck_job(tmp_path)
 
         def bomb(doc):
             raise Interrupt()
 
         with pytest.raises(Interrupt):
-            execute_job(
-                job,
-                checkpoint_every=CKPT_EVERY,
-                checkpoint_dir=ckdir,
-                on_checkpoint=bomb,
-            )
-        path = checkpoint_path_for(ckdir, job.fingerprint())
+            run_job(job, on_checkpoint=bomb)
+        path = checkpoint_path_for(str(tmp_path), job.fingerprint())
         raw = path.read_bytes()
         path.write_bytes(raw[: len(raw) // 2])
-        payload = execute_job(
-            job,
-            checkpoint_every=CKPT_EVERY,
-            checkpoint_dir=ckdir,
-            resume=True,
-        )
+        payload = run_job(_ck_job(tmp_path, resume=True)).to_payload()
         assert payload["stats"] == clean_payload["stats"]
         assert path.with_suffix(".ckpt.corrupt").exists()
 
     def test_resume_without_checkpoint_runs_fresh(self, tmp_path, clean_payload):
         """``resume=True`` with no file present is a plain fresh run."""
-        payload = execute_job(
-            _job(),
-            checkpoint_every=CKPT_EVERY,
-            checkpoint_dir=str(tmp_path),
-            resume=True,
-        )
+        payload = run_job(_ck_job(tmp_path, resume=True)).to_payload()
         assert payload["stats"] == clean_payload["stats"]
 
     def test_foreign_fingerprint_checkpoint_rejected(
@@ -141,30 +115,46 @@ class TestCrashRecovery:
     ):
         """A checkpoint bound to another job's fingerprint is never
         resumed from: it is quarantined and the job runs fresh."""
-        job = _job()
-        ckdir = str(tmp_path)
+        job = _ck_job(tmp_path)
 
         def bomb(doc):
             raise Interrupt()
 
         with pytest.raises(Interrupt):
-            execute_job(
-                job,
-                checkpoint_every=CKPT_EVERY,
-                checkpoint_dir=ckdir,
-                on_checkpoint=bomb,
-            )
+            run_job(job, on_checkpoint=bomb)
         # Present the real checkpoint under a different job's path.
-        other = SweepJob.create("bht", ExecutionMode.CDP, SCALE, 0.25)
-        mine = checkpoint_path_for(ckdir, job.fingerprint())
-        theirs = checkpoint_path_for(ckdir, other.fingerprint())
+        other = JobSpec.create("bht", ExecutionMode.CDP, SCALE, 0.25)
+        mine = checkpoint_path_for(str(tmp_path), job.fingerprint())
+        theirs = checkpoint_path_for(str(tmp_path), other.fingerprint())
         mine.rename(theirs)
-        payload = execute_job(
-            other,
-            checkpoint_every=CKPT_EVERY,
-            checkpoint_dir=ckdir,
-            resume=True,
-        )
-        clean_other = execute_job(other)
+        payload = run_job(
+            other.with_policy(
+                checkpoint_every=CKPT_EVERY, checkpoint_dir=str(tmp_path),
+                resume=True,
+            )
+        ).to_payload()
+        clean_other = run_job(other).to_payload()
         assert payload["stats"] == clean_other["stats"]
         assert theirs.with_suffix(".ckpt.corrupt").exists()
+
+    def test_legacy_execute_job_keyword_bundle_still_recovers(
+        self, tmp_path, clean_payload
+    ):
+        """The deprecated keyword path warns but behaves identically."""
+        job = _job()
+
+        def bomb(doc):
+            raise Interrupt()
+
+        with pytest.raises(Interrupt):
+            with pytest.warns(DeprecationWarning):
+                execute_job(
+                    job, checkpoint_every=CKPT_EVERY,
+                    checkpoint_dir=str(tmp_path), on_checkpoint=bomb,
+                )
+        with pytest.warns(DeprecationWarning):
+            payload = execute_job(
+                job, checkpoint_every=CKPT_EVERY,
+                checkpoint_dir=str(tmp_path), resume=True,
+            )
+        assert payload["stats"] == clean_payload["stats"]

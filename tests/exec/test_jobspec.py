@@ -1,0 +1,196 @@
+"""The canonical JobSpec/JobResult model and its legacy shims."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro import ExecutionMode, GPUConfig
+from repro.exec import (
+    JobResult,
+    JobSpec,
+    SpecError,
+    SweepEngine,
+    SweepJob,
+    execute_job,
+    run_job,
+)
+
+
+def small_spec(**overrides) -> JobSpec:
+    base = dict(
+        benchmark="bht", mode=ExecutionMode.FLAT,
+        scale=0.05, latency_scale=0.25,
+    )
+    base.update(overrides)
+    return JobSpec.create(**base)
+
+
+class TestIdentity:
+    def test_sweepjob_is_an_alias(self):
+        assert SweepJob is JobSpec
+
+    def test_policy_fields_do_not_change_the_fingerprint(self, tmp_path):
+        spec = small_spec()
+        stamped = spec.with_policy(
+            checkpoint_every=1000, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert stamped.fingerprint() == spec.fingerprint()
+        assert stamped.checkpoint_every == 1000
+        assert stamped.resume is True
+
+    def test_default_config_and_explicit_k20c_are_one_key(self):
+        assert (
+            small_spec().fingerprint()
+            == small_spec(config=GPUConfig.k20c()).fingerprint()
+        )
+
+    def test_identity_fields_change_the_fingerprint(self):
+        base = small_spec().fingerprint()
+        assert small_spec(scale=0.06).fingerprint() != base
+        assert small_spec(mode=ExecutionMode.DTBL).fingerprint() != base
+        assert small_spec(verify=False).fingerprint() != base
+
+
+class TestValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"benchmark": ""},
+        {"scale": 0.0},
+        {"scale": -1.0},
+        {"latency_scale": 0.0},
+        {"checkpoint_every": 0},
+    ])
+    def test_bad_fields_raise_spec_error(self, overrides):
+        with pytest.raises(SpecError):
+            small_spec(**overrides).validate()
+
+    def test_resume_requires_a_checkpoint_dir(self):
+        with pytest.raises(SpecError):
+            small_spec(resume=True).validate()
+
+    def test_spec_error_is_a_value_error(self):
+        assert issubclass(SpecError, ValueError)
+
+
+class TestWireFormat:
+    def test_roundtrip_preserves_identity_and_policy(self, tmp_path):
+        spec = small_spec(
+            checkpoint_every=500, checkpoint_dir=str(tmp_path), resume=True
+        )
+        clone = JobSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_minimal_document_defaults(self):
+        spec = JobSpec.from_dict({"benchmark": "bht", "mode": "dtbl"})
+        assert spec.mode is ExecutionMode.DTBL
+        assert spec.scale == 1.0
+        assert spec.verify is True
+        assert spec.config == GPUConfig.k20c()
+
+    def test_unknown_fields_fail_loudly(self):
+        with pytest.raises(SpecError, match="latency"):
+            JobSpec.from_dict(
+                {"benchmark": "bht", "mode": "flat", "latency": 0.5}
+            )
+
+    def test_missing_required_fields(self):
+        with pytest.raises(SpecError, match="mode"):
+            JobSpec.from_dict({"benchmark": "bht"})
+
+    def test_bad_mode_name(self):
+        with pytest.raises(SpecError, match="mode"):
+            JobSpec.from_dict({"benchmark": "bht", "mode": "warp9"})
+
+
+class TestFromArgs:
+    def make_args(self, **overrides):
+        namespace = argparse.Namespace(
+            scale=0.05, latency_scale=0.25, no_verify=False,
+            checkpoint_every=None, resume=False,
+        )
+        for key, value in overrides.items():
+            setattr(namespace, key, value)
+        return namespace
+
+    def test_reads_the_shared_flag_set(self, tmp_path):
+        spec = JobSpec.from_args(
+            self.make_args(no_verify=True, checkpoint_every=2000),
+            "bht", ExecutionMode.CDP, checkpoint_dir=str(tmp_path),
+        )
+        assert spec.benchmark == "bht"
+        assert spec.mode is ExecutionMode.CDP
+        assert spec.verify is False
+        assert spec.checkpoint_every == 2000
+        assert spec.checkpoint_dir == str(tmp_path)
+
+    def test_validates(self):
+        with pytest.raises(SpecError):
+            JobSpec.from_args(self.make_args(scale=0.0), "bht",
+                              ExecutionMode.FLAT)
+
+
+class TestExecution:
+    def test_run_job_returns_a_job_result(self):
+        spec = small_spec()
+        result = run_job(spec)
+        assert isinstance(result, JobResult)
+        assert result.cycles > 0
+        assert result.fingerprint == spec.fingerprint()
+        assert result.source == "run"
+
+    def test_payload_roundtrip_is_exact(self):
+        result = run_job(small_spec())
+        clone = JobResult.from_payload(result.to_payload())
+        assert clone.stats.to_dict() == result.stats.to_dict()
+        assert clone.source == "cache"
+
+    def test_spec_policy_checkpoints_and_resumes(self, tmp_path):
+        """The spec's checkpoint policy drives periodic snapshots, and a
+        completed run cleans its checkpoint file up."""
+        spec = small_spec(
+            checkpoint_every=1000, checkpoint_dir=str(tmp_path)
+        )
+        baseline = run_job(small_spec())
+        seen = []
+        checkpointed = run_job(spec, on_checkpoint=seen.append)
+        assert len(seen) >= baseline.cycles // 1000 - 1
+        assert not list(tmp_path.glob("*.ckpt"))  # removed on success
+        resumed = run_job(spec.with_policy(resume=True))
+        assert checkpointed.stats.to_dict() == baseline.stats.to_dict()
+        assert resumed.stats.to_dict() == baseline.stats.to_dict()
+
+
+class TestLegacyShims:
+    def test_execute_job_checkpoint_kwargs_warn_but_work(self, tmp_path):
+        spec = small_spec()
+        with pytest.warns(DeprecationWarning, match="execute_job"):
+            payload = execute_job(
+                spec, checkpoint_every=1000, checkpoint_dir=str(tmp_path)
+            )
+        assert payload["stats"] == run_job(spec).stats.to_dict()
+
+    def test_execute_job_without_policy_kwargs_is_silent(self, recwarn):
+        execute_job(small_spec())
+        assert not [
+            warning for warning in recwarn.list
+            if issubclass(warning.category, DeprecationWarning)
+        ]
+
+    def test_engine_level_checkpoint_kwargs_warn(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="SweepEngine"):
+            SweepEngine(
+                max_workers=1, checkpoint_every=1000,
+                checkpoint_dir=str(tmp_path),
+            )
+
+    def test_workload_execute_checkpoint_kwargs_warn(self, tmp_path):
+        from repro.workloads import get_benchmark
+
+        workload = get_benchmark("bht", ExecutionMode.FLAT, 0.05)
+        with pytest.warns(DeprecationWarning, match="execute"):
+            workload.execute(
+                latency_scale=0.25, checkpoint_every=1000,
+                checkpoint_path=tmp_path / "x.ckpt",
+            )

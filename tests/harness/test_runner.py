@@ -134,7 +134,7 @@ class TestDiskCache:
         def exploding_execute(job):
             raise AssertionError(f"simulated {job.label()} on a warm cache")
 
-        monkeypatch.setattr(runner_module, "execute_job", exploding_execute)
+        monkeypatch.setattr(runner_module, "run_job", exploding_execute)
         warm_cache = ResultCache(tmp_path / "cache")
         warm = run_grid(cache=warm_cache, **SUBGRID)
         assert warm_cache.stats.hits == 4

@@ -25,7 +25,7 @@ import tempfile  # noqa: E402
 import dataclasses  # noqa: E402
 
 from repro.config import GPUConfig  # noqa: E402
-from repro.exec import SweepJob, execute_job  # noqa: E402
+from repro.exec import JobSpec, run_job  # noqa: E402
 from repro.runtime import ExecutionMode  # noqa: E402
 from repro.state import checkpoint_path_for  # noqa: E402
 
@@ -47,16 +47,16 @@ def _bomb(doc):
 def smoke_one(fast: bool) -> bool:
     core = "fast" if fast else "ref"
     config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
-    job = SweepJob.create(BENCH, MODE, SCALE, LATENCY_SCALE, config=config)
+    job = JobSpec.create(BENCH, MODE, SCALE, LATENCY_SCALE, config=config)
     ckdir = tempfile.mkdtemp(prefix="repro-ckpt-smoke-")
     path = checkpoint_path_for(ckdir, job.fingerprint())
+    ck_job = job.with_policy(
+        checkpoint_every=CKPT_EVERY, checkpoint_dir=ckdir
+    )
 
-    clean = execute_job(job)
+    clean = run_job(job).to_payload()
     try:
-        execute_job(
-            job, checkpoint_every=CKPT_EVERY, checkpoint_dir=ckdir,
-            on_checkpoint=_bomb,
-        )
+        run_job(ck_job, on_checkpoint=_bomb)
     except Interrupt:
         pass
     else:
@@ -67,9 +67,7 @@ def smoke_one(fast: bool) -> bool:
         print(f"[{core}] FAIL: interrupt left no checkpoint at {path}")
         return False
 
-    resumed = execute_job(
-        job, checkpoint_every=CKPT_EVERY, checkpoint_dir=ckdir, resume=True
-    )
+    resumed = run_job(ck_job.with_policy(resume=True)).to_payload()
     if resumed["stats"] != clean["stats"]:
         golden, live = clean["stats"], resumed["stats"]
         drifted = {

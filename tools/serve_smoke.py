@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI smoke: boot the daemon, run a small sweep through it, rerun warm.
+
+Checks the full serving loop end to end:
+
+1. start ``python -m repro.serve`` on an ephemeral port and discover the
+   address from its startup line;
+2. submit a small sweep over the client, stream each job's NDJSON
+   lifecycle events, and require the ``queued -> started -> done``
+   progression;
+3. fetch every result and cross-check it against a direct in-process
+   :func:`repro.exec.run_job` of the same spec (bit-identical stats);
+4. resubmit the same sweep: every job must come back ``source="cache"``
+   without occupying a worker (the daemon's shared warm cache);
+5. ``POST /shutdown`` and require a clean daemon exit code.
+
+Any failure exits nonzero with a diagnostic.
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import os  # noqa: E402
+import select  # noqa: E402
+
+from repro.exec import JobSpec, run_job  # noqa: E402
+from repro.runtime import ExecutionMode  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+SCALE = 0.05
+LATENCY_SCALE = 0.25
+SPECS = [
+    JobSpec.create("bht", ExecutionMode.FLAT, SCALE, LATENCY_SCALE),
+    JobSpec.create("bht", ExecutionMode.DTBL, SCALE, LATENCY_SCALE),
+    JobSpec.create("bfs_citation", ExecutionMode.DTBL, SCALE, LATENCY_SCALE),
+]
+
+
+def start_daemon(workdir: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serve", "--port", "0",
+            "--workers", "2",
+            "--cache-dir", str(Path(workdir) / "cache"),
+            "--checkpoint-dir", str(Path(workdir) / "ckpt"),
+            "--spool-dir", str(Path(workdir) / "spool"),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        ready, _, _ = select.select([proc.stdout], [], [], 0.2)
+        if not ready:
+            if proc.poll() is not None:
+                print(f"FAIL: daemon died on startup:\n{proc.stdout.read()}")
+                return None, None
+            continue
+        line = proc.stdout.readline()
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    print("FAIL: daemon never printed its address")
+    return None, None
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as workdir:
+        proc, port = start_daemon(workdir)
+        if proc is None:
+            return 1
+        try:
+            client = ServeClient(port=port, client="ci", timeout=60.0)
+
+            # Cold sweep: every job simulates, events stream in order.
+            infos = client.submit_sweep(SPECS)
+            for spec, info in zip(SPECS, infos):
+                events = [e["event"] for e in client.events(info["id"])]
+                if events[0] != "queued" or "started" not in events \
+                        or events[-1] != "done":
+                    print(f"FAIL: {spec.label()} bad event stream: {events}")
+                    return 1
+                served = client.result(info["id"])
+                direct = run_job(spec)
+                if served.stats.to_dict() != direct.stats.to_dict():
+                    print(f"FAIL: {spec.label()} daemon result differs "
+                          f"from a direct run")
+                    return 1
+                print(f"[cold] {spec.label()}: {served.cycles:,} cycles "
+                      f"(source={served.source}, events={events})")
+
+            # Warm sweep: bit-identical results straight from the cache.
+            for spec, info in zip(SPECS, client.submit_sweep(SPECS)):
+                if info["status"] != "done" or info["source"] != "cache":
+                    print(f"FAIL: warm {spec.label()} not served from "
+                          f"cache: {info['status']}/{info['source']}")
+                    return 1
+                print(f"[warm] {spec.label()}: source=cache")
+
+            stats = client.status()["stats"]
+            if stats["cache_hits"] != len(SPECS):
+                print(f"FAIL: expected {len(SPECS)} cache hits, "
+                      f"got {stats['cache_hits']}")
+                return 1
+
+            client.shutdown()
+            proc.wait(timeout=30)
+            if proc.returncode != 0:
+                print(f"FAIL: daemon exited with {proc.returncode}")
+                return 1
+            print("serve smoke: PASS")
+            return 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
