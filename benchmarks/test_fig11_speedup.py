@@ -5,9 +5,14 @@ launch overhead eats the ideal gain), DTBL 1.21x.  Per-benchmark
 landmarks: bfs_usa_road and sssp_flight barely change (too little DFP);
 clr_graph500 slows down slightly under both dynamic modes (balanced input,
 overhead only).
+
+The grid also carries the compiler-optimized modes (CDPA, CONS); their
+columns are reported but only sanity-checked here — software aggregation
+trades launch count for in-kernel staging work, so its speedup shape is
+workload-dependent (see docs/modes.md).
 """
 
-from repro.harness.experiments import figure11_speedup
+from repro.harness.experiments import DYNAMIC_MODES, figure11_speedup, mode_column
 
 from .conftest import show
 
@@ -18,7 +23,11 @@ def test_fig11(grid, benchmark):
     )
     show(experiment)
     summary = experiment.summary
-    rows = {row[0]: row[1:] for row in experiment.rows}  # CDPI, DTBLI, CDP, DTBL
+    columns = [mode_column(mode) for mode in DYNAMIC_MODES]
+    assert experiment.headers == ["benchmark"] + columns
+    rows = {
+        row[0]: dict(zip(columns, row[1:])) for row in experiment.rows
+    }
 
     # Ordering of the averages: DTBL > 1 >= ~CDP, ideals above reals.
     assert summary["DTBL speedup (geomean)"] > 1.0
@@ -28,12 +37,21 @@ def test_fig11(grid, benchmark):
 
     # Landmark benchmarks.
     for name in ("bfs_usa_road", "sssp_flight"):
-        cdpi, dtbli, cdp, dtbl = rows[name]
+        dtbl = rows[name]["DTBL"]
         assert 0.9 < dtbl < 1.1, f"{name}: expected ~no change, got {dtbl}"
-    clr_g5 = rows["clr_graph500"]
-    assert clr_g5[3] < 1.05, "clr_graph500 must not benefit from DTBL"
+    assert rows["clr_graph500"]["DTBL"] < 1.05, \
+        "clr_graph500 must not benefit from DTBL"
 
     # Per benchmark: DTBL at least matches CDP (lower launch overhead,
     # better scheduling) within noise.
-    better = sum(1 for r in rows.values() if r[3] >= r[2] * 0.98)
+    better = sum(
+        1 for r in rows.values() if r["DTBL"] >= r["CDP"] * 0.98
+    )
     assert better >= len(rows) * 0.8
+
+    # Compiler-optimized modes: every benchmark produced a finite
+    # positive speedup (correctness is enforced bit-exactly by the
+    # runner's verify pass; the perf shape is workload-dependent).
+    for name, r in rows.items():
+        for column in ("CDPA", "CONS"):
+            assert r[column] > 0.0, f"{name}: no {column} result"

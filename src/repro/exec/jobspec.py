@@ -145,7 +145,7 @@ class JobSpec:
         return cls(
             benchmark=benchmark,
             mode=mode if isinstance(mode, ExecutionMode)
-            else ExecutionMode.from_name(str(mode)),
+            else ExecutionMode.parse(str(mode)),
             scale=float(scale),
             latency_scale=float(latency_scale),
             config=config if config is not None else GPUConfig.k20c(),
@@ -245,7 +245,7 @@ class JobSpec:
         try:
             mode = (
                 mode if isinstance(mode, ExecutionMode)
-                else ExecutionMode.from_name(str(mode))
+                else ExecutionMode.parse(str(mode))
             )
         except Exception as exc:
             raise SpecError(f"unknown mode {data['mode']!r}") from exc

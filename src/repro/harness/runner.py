@@ -45,14 +45,10 @@ DEFAULT_LATENCY_SCALE = 0.25
 #: Default dataset scale for the evaluation grid.
 DEFAULT_SCALE = 1.0
 
-#: The mode set evaluated in the paper's figures.
-ALL_MODES: Tuple[ExecutionMode, ...] = (
-    ExecutionMode.FLAT,
-    ExecutionMode.CDP,
-    ExecutionMode.CDP_IDEAL,
-    ExecutionMode.DTBL,
-    ExecutionMode.DTBL_IDEAL,
-)
+#: The full comparison grid: the paper's five modes plus the
+#: compiler-optimized rivals, derived from the enum so new modes join
+#: the default grid automatically.
+ALL_MODES: Tuple[ExecutionMode, ...] = ExecutionMode.comparison_order()
 
 
 @dataclass

@@ -78,11 +78,19 @@ class KernelBuilder:
     destination register so expressions compose naturally.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        int_reg_start: int = 0,
+        flt_reg_start: int = 0,
+        label_stem: str = "",
+    ) -> None:
         self.program = Program(name)
-        self._int_regs = itertools.count()
-        self._flt_regs = itertools.count()
+        self._int_regs = itertools.count(int_reg_start)
+        self._flt_regs = itertools.count(flt_reg_start)
         self._labels = itertools.count()
+        self._label_stem = label_stem
         self._built: Optional[Program] = None
 
     # ------------------------------------------------------------------
@@ -97,7 +105,7 @@ class KernelBuilder:
         return Reg(Bank.FLT, next(self._flt_regs))
 
     def _fresh_label(self, stem: str) -> str:
-        return f".{stem}_{next(self._labels)}"
+        return f".{self._label_stem}{stem}_{next(self._labels)}"
 
     def _emit(self, instr: Instr) -> int:
         return self.program.emit(instr)

@@ -1,0 +1,37 @@
+"""Tunables for the dynamic-parallelism optimization passes."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class DynoptOptions:
+    """Knobs shared by the :mod:`repro.isa.dynopt` passes.
+
+    The defaults are sized for the benchmark suite's parent blocks (64-128
+    threads): the staging table fits one record per thread with headroom
+    for multi-launch parents, while keeping the per-block shared-memory
+    footprint (``1 + 2 * staging_capacity`` words per child kernel) low
+    enough not to throttle occupancy on the K20c configuration.
+    """
+
+    #: Maximum launch records staged in shared memory per (block, child
+    #: kernel).  Requests past the cap fall back to a plain per-thread
+    #: CDP launch, so the cap affects performance, never correctness.
+    staging_capacity: int = 176
+
+    #: Child launches whose element count is provably below this many
+    #: threads are serialized into an inlined loop in the parent
+    #: (``CDP_AGG`` only, following Olabi et al.).  A serialized launch
+    #: trades a whole child block for a per-thread loop, so the default
+    #: only catches launches smaller than a warp's worth of threads —
+    #: the workload DFP thresholds (24-32) already serialize most of
+    #: that tail, leaving sub-block stragglers like AMR's fixed 16-cell
+    #: refinements.
+    serial_threshold: int = 32
+
+    #: Words of table header per staged record (start block/thread and
+    #: parameter-buffer base).  Fixed by the wrapper ABI; exposed so the
+    #: tests can document the layout in one place.
+    record_words: int = 2

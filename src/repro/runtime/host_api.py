@@ -512,8 +512,12 @@ def _validate_mode_latency(
             f"the latency argument or use mode {mode.value[:-1]!r}"
         )
     if mode.is_dynamic and not mode.ideal and latency == ideal_model:
+        hint = (
+            f"; use mode {mode.value + 'i'!r} for the ideal configuration"
+            if not mode.compiler_optimized
+            else ""
+        )
         raise ConfigError(
             f"mode {mode.value!r} models measured launch latencies but an "
-            "all-zero (ideal) LatencyModel was passed; use mode "
-            f"{mode.value + 'i'!r} for the ideal configuration"
+            f"all-zero (ideal) LatencyModel was passed{hint}"
         )

@@ -1,4 +1,4 @@
-"""Execution modes evaluated in the paper (Section 5).
+"""Execution modes evaluated in the paper (Section 5) and its rivals.
 
 * ``FLAT`` — the original implementation: nested parallelism flattened and
   serialized within each thread.
@@ -6,11 +6,24 @@
   Parallelism), with measured / zero launch latencies.
 * ``DTBL`` / ``DTBL_IDEAL`` — the paper's aggregated-group launches, with
   measured / zero launch latencies.
+* ``CDP_AGG`` — CDP rewritten by the :mod:`repro.isa.dynopt` compiler
+  passes: child launches below a thread-count threshold are serialized
+  into the parent, the rest are aggregated per block into one batched
+  launch (Olabi et al., *A Compiler Framework for Optimizing Dynamic
+  Parallelism on GPUs*).
+* ``CONSOLIDATED`` — CDP rewritten so per-thread child work is
+  consolidated into fewer, densely packed kernels (Wu & Becchi,
+  *Compiler-Assisted Workload Consolidation*).
+
+The software-optimized modes run on the plain CDP device runtime — the
+transformation happens entirely in the IR, so they use the measured CDP
+launch latencies.
 """
 
 from __future__ import annotations
 
 import enum
+from typing import Tuple
 
 from ..config import LatencyModel
 
@@ -21,14 +34,31 @@ class ExecutionMode(enum.Enum):
     CDP_IDEAL = "cdpi"
     DTBL = "dtbl"
     DTBL_IDEAL = "dtbli"
+    CDP_AGG = "cdpa"
+    CONSOLIDATED = "cons"
 
     @property
     def uses_cdp(self) -> bool:
-        return self in (ExecutionMode.CDP, ExecutionMode.CDP_IDEAL)
+        """True when kernels are built with CDP-style device launches.
+
+        The compiler-optimized modes start from the same CDP kernel shape
+        (the dynopt passes rewrite it afterwards), so they count here.
+        """
+        return self in (
+            ExecutionMode.CDP,
+            ExecutionMode.CDP_IDEAL,
+            ExecutionMode.CDP_AGG,
+            ExecutionMode.CONSOLIDATED,
+        )
 
     @property
     def uses_dtbl(self) -> bool:
         return self in (ExecutionMode.DTBL, ExecutionMode.DTBL_IDEAL)
+
+    @property
+    def compiler_optimized(self) -> bool:
+        """True for modes produced by the :mod:`repro.isa.dynopt` passes."""
+        return self in (ExecutionMode.CDP_AGG, ExecutionMode.CONSOLIDATED)
 
     @property
     def is_dynamic(self) -> bool:
@@ -53,8 +83,38 @@ class ExecutionMode(enum.Enum):
         return model
 
     @classmethod
-    def from_name(cls, name: str) -> "ExecutionMode":
+    def parse(cls, name: str) -> "ExecutionMode":
+        """Look a mode up by its short name (case-insensitive).
+
+        Raises :class:`ValueError` listing the valid names, so CLI users
+        see the whole menu instead of guessing.
+        """
         for mode in cls:
             if mode.value == name.lower():
                 return mode
-        raise ValueError(f"unknown execution mode {name!r}")
+        valid = ", ".join(mode.value for mode in cls)
+        raise ValueError(
+            f"unknown execution mode {name!r} (valid modes: {valid})"
+        )
+
+    # Backwards-compatible alias; ``parse`` is the canonical spelling.
+    @classmethod
+    def from_name(cls, name: str) -> "ExecutionMode":
+        return cls.parse(name)
+
+    @classmethod
+    def comparison_order(cls) -> Tuple["ExecutionMode", ...]:
+        """Canonical mode order for comparison grids and figures.
+
+        Baseline first, then the paper's modes ideal-to-measured, then the
+        compiler-optimized rivals — the order the Fig. 11 columns use.
+        """
+        return (
+            cls.FLAT,
+            cls.CDP_IDEAL,
+            cls.DTBL_IDEAL,
+            cls.CDP,
+            cls.DTBL,
+            cls.CDP_AGG,
+            cls.CONSOLIDATED,
+        )

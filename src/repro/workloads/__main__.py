@@ -45,7 +45,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("benchmark", nargs="?", help="benchmark id (see --list)")
     parser.add_argument("--mode", nargs="*", default=["flat", "cdp", "dtbl"],
-                        help="execution modes (flat cdp cdpi dtbl dtbli)")
+                        choices=[mode.value for mode in ExecutionMode],
+                        help="execution modes (default: flat cdp dtbl)")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the reference-result check")
     add_job_flags(parser)
@@ -76,7 +77,7 @@ def main(argv=None) -> int:
         JobSpec.from_args(
             args,
             args.benchmark,
-            ExecutionMode.from_name(mode_name),
+            ExecutionMode.parse(mode_name),
             checkpoint_dir=checkpoint_dir,
         )
         for mode_name in args.mode

@@ -219,7 +219,15 @@ class Workload(abc.ABC):
             latency=self.mode.latency_model(latency_scale),
             memory_words=memory_words,
         )
-        for func in self.build_kernels():
+        kernels = self.build_kernels()
+        if self.mode.compiler_optimized:
+            # CDP_AGG / CONSOLIDATED: the workload built plain CDP
+            # kernels; rewrite them (and generate the batched-launch
+            # wrappers) before registration.
+            from ..isa.dynopt import transform_kernels
+
+            kernels = transform_kernels(kernels, self.mode)
+        for func in kernels:
             if optimize_kernels:
                 from ..isa.optimizer import optimized_copy
                 from ..sim.kernel import KernelFunction

@@ -52,6 +52,15 @@ class TestIdentity:
         assert small_spec(mode=ExecutionMode.DTBL).fingerprint() != base
         assert small_spec(verify=False).fingerprint() != base
 
+    def test_every_mode_fingerprints_distinctly(self):
+        # The compiler-optimized modes run the same device runtime as
+        # plain CDP; the cache key must still separate all of them.
+        prints = {
+            mode: small_spec(mode=mode).fingerprint()
+            for mode in ExecutionMode
+        }
+        assert len(set(prints.values())) == len(ExecutionMode)
+
 
 class TestValidation:
     @pytest.mark.parametrize("overrides", [

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.harness.experiments import (
+    DYNAMIC_MODES,
     Experiment,
+    mode_column,
     figure6_warp_activity,
     figure10_memory_footprint,
     figure11_speedup,
@@ -59,7 +61,12 @@ class TestGridFigures:
 
     def test_fig11_structure(self, small_grid):
         exp = figure11_speedup(small_grid)
-        assert exp.headers == ["benchmark", "CDPI", "DTBLI", "CDP", "DTBL"]
+        assert exp.headers == ["benchmark"] + [
+            mode_column(mode) for mode in DYNAMIC_MODES
+        ]
+        assert exp.headers == [
+            "benchmark", "CDPI", "DTBLI", "CDP", "DTBL", "CDPA", "CONS",
+        ]
         for row in exp.rows:
             assert all(value > 0 for value in row[1:])
 

@@ -1,0 +1,113 @@
+"""Property: the peephole optimizer never touches launch machinery.
+
+The dynopt pipeline and the workloads both rely on the optimizer
+(:func:`repro.isa.optimizer.optimize`) treating ``GET_PARAM_BUF`` /
+``STREAM_CREATE`` / ``LAUNCH_DEVICE`` / ``LAUNCH_AGG`` as opaque side
+effects: no pass may fold one away, reorder the sequence, or eliminate
+an instruction that defines a register a launch still reads.  Random
+programs with interleaved arithmetic, dead code, and 1-3 launch sites
+check the invariant.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import KernelBuilder
+from repro.isa.instructions import Opcode, Reg
+from repro.isa.optimizer import optimize
+
+LAUNCH_RELATED = frozenset({
+    Opcode.GET_PARAM_BUF,
+    Opcode.STREAM_CREATE,
+    Opcode.LAUNCH_DEVICE,
+    Opcode.LAUNCH_AGG,
+})
+
+
+@st.composite
+def launchy_program(draw):
+    """A program mixing arithmetic, dead defs, and CDP/DTBL launch sites."""
+    k = KernelBuilder("prop")
+    values = [k.gtid(), k.mov(draw(st.integers(0, 100)))]
+    param = k.param()
+    values.append(k.ld(param, offset=0))
+
+    def arith():
+        op = draw(st.sampled_from([k.iadd, k.imul, k.isub]))
+        a = draw(st.sampled_from(values))
+        b = draw(
+            st.one_of(st.sampled_from(values), st.integers(0, 9))
+        )
+        return op(a, b)
+
+    for _ in range(draw(st.integers(0, 8))):
+        result = arith()
+        if draw(st.booleans()):
+            values.append(result)  # else: a dead def, fair DCE game
+
+    for _ in range(draw(st.integers(1, 3))):
+        block = draw(st.sampled_from([32, 64]))
+        work = draw(st.sampled_from(values))
+        buf = k.get_param_buffer(2)
+        k.st(buf, work, offset=0)
+        k.st(buf, draw(st.sampled_from(values)), offset=1)
+        blocks = k.idiv(k.iadd(work, block - 1), block)
+        if draw(st.booleans()):
+            k.stream_create()
+            k.launch_device("child", buf, grid=blocks, block=block)
+        else:
+            k.launch_agg("child", buf, agg=blocks, block=block)
+        if draw(st.booleans()):
+            values.append(arith())
+
+    k.exit()
+    return k.program  # unfinalized, as optimize() requires
+
+
+def launch_signature(program):
+    """The launch-machinery subsequence, in program order."""
+    return [
+        (instr.op, instr.kernel)
+        for instr in program.instructions
+        if instr.op in LAUNCH_RELATED
+    ]
+
+
+def regs_read_by(instr):
+    operands = [instr.a, instr.b, instr.c, instr.pred]
+    for dims in (instr.grid_dims, instr.block_dims):
+        if dims:
+            operands.extend(dims)
+    return [op for op in operands if isinstance(op, Reg)]
+
+
+class TestOptimizerPreservesLaunches:
+    @settings(max_examples=60, deadline=None)
+    @given(launchy_program())
+    def test_launch_sequence_survives_verbatim(self, program):
+        optimized = optimize(program)
+        assert launch_signature(optimized) == launch_signature(program)
+
+    @settings(max_examples=60, deadline=None)
+    @given(launchy_program())
+    def test_launch_operands_stay_defined(self, program):
+        optimized = optimize(program)
+        defined = set()
+        for instr in optimized.instructions:
+            if instr.op in LAUNCH_RELATED:
+                for reg in regs_read_by(instr):
+                    assert (reg.bank, reg.idx) in defined, (
+                        f"{instr.op.name} reads r{reg.idx} "
+                        f"with no prior definition"
+                    )
+            if isinstance(instr.dst, Reg):
+                defined.add((instr.dst.bank, instr.dst.idx))
+
+    @settings(max_examples=30, deadline=None)
+    @given(launchy_program())
+    def test_param_stores_survive(self, program):
+        # The ST instructions filling a parameter buffer are side effects
+        # the child observes; none may be eliminated.
+        def st_count(p):
+            return sum(1 for i in p.instructions if i.op is Opcode.ST)
+
+        assert st_count(optimize(program)) == st_count(program)

@@ -310,23 +310,24 @@ class TestWorkloadRoundTrip:
     def test_sanitized_workload_resumes_bit_identical(
         self, tmp_path, clean_workload_stats, bench, mode, fast
     ):
-        path = str(tmp_path / "work.ckpt")
+        from repro.exec import JobSpec
 
         def bomb(doc):
             raise Interrupt()
 
-        workload, config = _workload(bench, mode, fast)
-        with pytest.raises(Interrupt):
-            workload.execute(
-                config=config, latency_scale=0.25, checkpoint_every=4_000,
-                checkpoint_path=path, on_checkpoint=bomb,
+        def spec(config, resume):
+            return JobSpec.create(
+                bench, ExecutionMode(mode), SCALE, 0.25, config=config,
+                checkpoint_every=4_000, checkpoint_dir=str(tmp_path),
+                resume=resume,
             )
 
         workload, config = _workload(bench, mode, fast)
-        result = workload.execute(
-            config=config, latency_scale=0.25, checkpoint_every=4_000,
-            checkpoint_path=path, resume=True,
-        )
+        with pytest.raises(Interrupt):
+            workload.execute_spec(spec(config, False), on_checkpoint=bomb)
+
+        workload, config = _workload(bench, mode, fast)
+        result = workload.execute_spec(spec(config, True))
         stats, sanitizer = clean_workload_stats(bench, mode, fast)
         assert result.stats.to_dict() == stats
         assert result.sanitizer.to_dict() == sanitizer

@@ -22,7 +22,7 @@ from repro.workloads import get_benchmark
 SCALE = 0.08
 LATENCY_SCALE = 0.25
 BENCHMARKS = ("bfs_citation", "bht")
-MODES = ("flat", "cdp", "dtbl")
+MODES = ("flat", "cdp", "dtbl", "cdpa", "cons")
 CORES = (("ref", False), ("fast", True))
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 

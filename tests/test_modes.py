@@ -45,6 +45,36 @@ class TestModes:
         with pytest.raises(ValueError):
             ExecutionMode.from_name("warp-speed")
 
+    def test_parse(self):
+        assert ExecutionMode.parse("cdpa") is ExecutionMode.CDP_AGG
+        assert ExecutionMode.parse("CONS") is ExecutionMode.CONSOLIDATED
+
+    def test_parse_error_lists_valid_modes(self):
+        with pytest.raises(ValueError) as excinfo:
+            ExecutionMode.parse("warp-speed")
+        message = str(excinfo.value)
+        assert "warp-speed" in message
+        for mode in ExecutionMode:
+            assert mode.value in message
+
+    def test_compiler_optimized_flag(self):
+        assert ExecutionMode.CDP_AGG.compiler_optimized
+        assert ExecutionMode.CONSOLIDATED.compiler_optimized
+        assert not ExecutionMode.CDP.compiler_optimized
+        # The optimized modes build from the CDP kernel shape and run on
+        # the real (non-ideal) CDP launch latencies.
+        assert ExecutionMode.CDP_AGG.uses_cdp
+        assert ExecutionMode.CONSOLIDATED.uses_cdp
+        assert not ExecutionMode.CDP_AGG.ideal
+        assert not ExecutionMode.CONSOLIDATED.ideal
+
+    def test_comparison_order_covers_every_mode_once(self):
+        order = ExecutionMode.comparison_order()
+        assert order[0] is ExecutionMode.FLAT
+        assert sorted(m.value for m in order) == sorted(
+            m.value for m in ExecutionMode
+        )
+
     def test_scale_validation(self):
         from repro.errors import ConfigError
 

@@ -2,8 +2,9 @@
 """Regenerate the golden statistics corpus under ``tests/golden/``.
 
 The corpus pins ``SimStats.to_dict()`` for a small benchmark grid —
-``bfs_citation`` and ``bht`` in flat/cdp/dtbl on both simulation cores —
-at ``scale=0.08``, ``latency_scale=0.25`` on the K20c configuration.
+``bfs_citation`` and ``bht`` in flat/cdp/dtbl plus the compiler-optimized
+cdpa/cons modes, on both simulation cores — at ``scale=0.08``,
+``latency_scale=0.25`` on the K20c configuration.
 ``tests/test_golden_stats.py`` compares live simulations against these
 files *exactly*: any counter drift, however small, fails the suite.
 
@@ -33,7 +34,7 @@ from repro.workloads import get_benchmark  # noqa: E402
 SCALE = 0.08
 LATENCY_SCALE = 0.25
 BENCHMARKS = ("bfs_citation", "bht")
-MODES = ("flat", "cdp", "dtbl")
+MODES = ("flat", "cdp", "dtbl", "cdpa", "cons")
 CORES = (("ref", False), ("fast", True))
 GOLDEN_DIR = REPO / "tests" / "golden"
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Modes smoke check: one workload under the full 7-mode grid.
+
+Runs a small benchmark under every :class:`ExecutionMode` with the
+sanitizer on and result verification enabled (each run's output buffers
+are compared against the host reference — the flat-equality guarantee),
+then cross-checks the stats for the orderings the platform promises:
+
+* flat issues no dynamic launches; every dynamic mode's cycle count is
+  positive and its launch counters are internally consistent;
+* an ideal mode never runs slower than its measured twin (cdpi <= cdp,
+  dtbli <= dtbl);
+* the compiler-optimized modes (cdpa, cons) issue **at most** as many
+  device launches as plain cdp — the whole point of aggregation;
+* cons never uses more child blocks than cdpa for the same work —
+  consolidation packs partial blocks denser.
+
+Exits non-zero with a per-mode table on any violation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import dataclasses  # noqa: E402
+
+from repro.config import GPUConfig  # noqa: E402
+from repro.runtime import ExecutionMode  # noqa: E402
+from repro.workloads import get_benchmark  # noqa: E402
+
+BENCHMARK = "bfs_cage15"
+SCALE = 0.2  # large enough that the DFP thresholds actually fire
+LATENCY_SCALE = 0.25
+
+
+def simulate(mode: ExecutionMode):
+    workload = get_benchmark(BENCHMARK, mode, SCALE)
+    config = dataclasses.replace(GPUConfig.k20c(), sanitize=True)
+    result = workload.execute(
+        config=config, latency_scale=LATENCY_SCALE, verify=True
+    )
+    return result.stats
+
+
+def main() -> int:
+    stats = {}
+    for mode in ExecutionMode.comparison_order():
+        stats[mode] = simulate(mode)
+        dyn = len(stats[mode].dynamic_launches())
+        print(
+            f"  {BENCHMARK} {mode.value:6s} "
+            f"cycles={stats[mode].cycles:>9,}  dynamic_launches={dyn}"
+        )
+
+    def cycles(mode):
+        return stats[mode].cycles
+
+    def launches(mode):
+        return len(stats[mode].dynamic_launches())
+
+    def blocks(mode):
+        return sum(r.total_blocks for r in stats[mode].dynamic_launches())
+
+    failures = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    for mode in stats:
+        check(cycles(mode) > 0, f"{mode.value}: no cycles simulated")
+    check(launches(ExecutionMode.FLAT) == 0, "flat issued dynamic launches")
+    check(
+        launches(ExecutionMode.CDP) > 0,
+        f"cdp issued no dynamic launches at scale {SCALE} — the smoke "
+        "check needs a scale where the DFP thresholds fire",
+    )
+    check(
+        cycles(ExecutionMode.CDP_IDEAL) <= cycles(ExecutionMode.CDP),
+        "ideal cdp ran slower than measured cdp",
+    )
+    check(
+        cycles(ExecutionMode.DTBL_IDEAL) <= cycles(ExecutionMode.DTBL),
+        "ideal dtbl ran slower than measured dtbl",
+    )
+    for mode in (ExecutionMode.CDP_AGG, ExecutionMode.CONSOLIDATED):
+        check(
+            launches(mode) <= launches(ExecutionMode.CDP),
+            f"{mode.value} issued more launches than plain cdp "
+            f"({launches(mode)} > {launches(ExecutionMode.CDP)})",
+        )
+    check(
+        blocks(ExecutionMode.CONSOLIDATED) <= blocks(ExecutionMode.CDP_AGG),
+        "cons used more child blocks than cdpa "
+        f"({blocks(ExecutionMode.CONSOLIDATED)} > "
+        f"{blocks(ExecutionMode.CDP_AGG)})",
+    )
+
+    if failures:
+        print("modes smoke: FAILED")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    print(f"modes smoke: OK ({len(stats)} modes, outputs verified, "
+          "sanitizer clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

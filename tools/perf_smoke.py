@@ -19,8 +19,10 @@ at the repo root — the suite's perf trajectory, one entry per refresh
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import pathlib
+import platform
 import subprocess
 import sys
 import time
@@ -30,18 +32,41 @@ BASELINE = REPO / "benchmarks" / "perf_baseline.json"
 TRAJECTORY = REPO / "BENCH_fig11.json"
 
 
+def trajectory_seconds(entry) -> float:
+    """Wall-clock seconds of one trajectory entry.
+
+    Entries were bare floats before hosts/timestamps were recorded;
+    both forms stay readable so the trajectory keeps its full history.
+    """
+    if isinstance(entry, dict):
+        return float(entry["seconds"])
+    return float(entry)
+
+
 def record_trajectory(elapsed: float) -> None:
-    """Append one suite timing to the perf trajectory file."""
+    """Append one suite timing to the perf trajectory file.
+
+    Each new entry records the host it was measured on and an ISO-8601
+    UTC timestamp — bare seconds spanning different machines made the
+    trajectory misleading.  Older float-only entries are left as-is.
+    """
     if TRAJECTORY.exists():
         doc = json.loads(TRAJECTORY.read_text())
     else:
         doc = {
             "description": "Fig. 11 benchmark-suite wall-clock trajectory "
-                           "(seconds; appended by tools/perf_smoke.py "
-                           "--update, oldest first)",
+                           "(appended by tools/perf_smoke.py --update, "
+                           "oldest first; entries before host/timestamp "
+                           "tracking are bare seconds)",
             "runs": [],
         }
-    doc["runs"].append(round(elapsed, 1))
+    doc["runs"].append({
+        "seconds": round(elapsed, 1),
+        "host": platform.node() or "unknown",
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    })
     TRAJECTORY.write_text(json.dumps(doc, indent=2) + "\n")
 
 
