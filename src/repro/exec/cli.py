@@ -7,7 +7,7 @@ checkpoint/resume — and used to duplicate the argparse wiring.  This
 module is the single definition:
 
 * :func:`add_job_flags` declares the job-shape flags (``--scale``,
-  ``--latency-scale``, ``--sanitize``) that feed
+  ``--latency-scale``, ``--core``, ``--sanitize``) that feed
   :meth:`repro.exec.jobspec.JobSpec.from_args`;
 * :func:`add_execution_flags` declares the execution-policy flags
   (``--jobs``, ``--cache*``, ``--profile*``, ``--checkpoint*``,
@@ -36,6 +36,11 @@ def add_job_flags(
                         default=latency_scale_default,
                         help="Table 3 launch-latency scale "
                              f"(default {latency_scale_default})")
+    parser.add_argument("--core", default=None,
+                        choices=("reference", "fast", "vector"),
+                        help="execution core for every simulation "
+                             "(default: the config's default core); all "
+                             "three are statistic-exact")
     parser.add_argument("--sanitize", action="store_true",
                         help="run every simulation with the execution "
                              "sanitizer (race/OOB/uninit/barrier/launch "

@@ -32,7 +32,7 @@ from ..config import GPUConfig
 #: Salt folded into every job fingerprint.  Bump the trailing tag when a
 #: change invalidates cached results without changing the package version
 #: (e.g. a simulator bug fix on a maintenance branch).
-CODE_VERSION = f"repro-{__version__}:fp1"
+CODE_VERSION = f"repro-{__version__}:fp2"
 
 
 def canonical_json(obj) -> str:

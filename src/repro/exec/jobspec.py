@@ -167,16 +167,21 @@ class JobSpec:
 
         Reads the shared flags declared by ``add_job_flags`` /
         ``add_execution_flags``: ``--scale``, ``--latency-scale``,
-        ``--no-verify`` (when the CLI declares it), and the checkpoint
-        flags.  ``checkpoint_dir`` is the *validated* directory from
-        ``validate_execution_flags`` — ``None`` unless checkpointing or
-        resuming was requested.
+        ``--core``, ``--no-verify`` (when the CLI declares it), and the
+        checkpoint flags.  ``checkpoint_dir`` is the *validated*
+        directory from ``validate_execution_flags`` — ``None`` unless
+        checkpointing or resuming was requested.
         """
+        core = getattr(args, "core", None)
+        config = None
+        if core:
+            config = dataclasses.replace(GPUConfig.k20c(), core=core)
         return cls.create(
             benchmark,
             mode,
             getattr(args, "scale", 1.0),
             getattr(args, "latency_scale", 1.0),
+            config=config,
             verify=not getattr(args, "no_verify", False),
             checkpoint_every=getattr(args, "checkpoint_every", None),
             checkpoint_dir=checkpoint_dir,

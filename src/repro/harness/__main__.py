@@ -19,6 +19,7 @@ interrupted sweep can ``--resume`` from where it stopped.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 import time
@@ -43,6 +44,7 @@ from ..exec import (
     add_job_flags,
     validate_execution_flags,
 )
+from ..config import GPUConfig
 from ..sim import profiler as _profiler
 from .runner import DEFAULT_LATENCY_SCALE, run_grid
 
@@ -93,6 +95,10 @@ def main(argv=None) -> int:
         # raises WorkloadError out of Workload.execute with the report.
         os.environ["REPRO_SANITIZE"] = "1"
 
+    config = None
+    if args.core:
+        config = dataclasses.replace(GPUConfig.k20c(), core=args.core)
+
     verbose = not args.quiet
     start = time.time()
     if args.figure is None:
@@ -107,6 +113,7 @@ def main(argv=None) -> int:
             cache=cache,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=checkpoint_dir,
+            config=config,
         )
         for experiment in experiments:
             print()
@@ -125,6 +132,7 @@ def main(argv=None) -> int:
                 cache=cache,
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_dir=checkpoint_dir,
+                core=args.core,
             ).render()
         )
     elif args.figure in _GRID_FIGURES:
@@ -137,6 +145,7 @@ def main(argv=None) -> int:
             cache=cache,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=checkpoint_dir,
+            config=config,
         )
         print(_GRID_FIGURES[args.figure](grid).render())
     else:

@@ -8,6 +8,7 @@ numbers for side-by-side comparison in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -307,19 +308,29 @@ def figure12_agt_sensitivity(
     cache: Optional[ResultCache] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir=None,
+    core: Optional[str] = None,
 ) -> Experiment:
     """Fig. 12: DTBL performance sensitivity to the AGT size.
 
     Runs the DTBL mode under each AGT size and normalizes each
     benchmark's performance (1/cycles) to the 1024-entry baseline.
     The (benchmark x AGT size) sub-grid goes through the same
-    fingerprint -> cache -> pool path as the main grid.
+    fingerprint -> cache -> pool path as the main grid.  ``core``
+    selects the execution core (all cores are statistic-exact, so the
+    figure itself is core-independent — the knob exists so a sweep can
+    share one cache population).
     """
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
+
+    def agt_config(size: int) -> GPUConfig:
+        config = GPUConfig.k20c().with_agt_entries(size)
+        if core:
+            config = dataclasses.replace(config, core=core)
+        return config
+
     specs = [
         JobSpec.create(
-            name, DTBL, scale, latency_scale,
-            config=GPUConfig.k20c().with_agt_entries(size),
+            name, DTBL, scale, latency_scale, config=agt_config(size),
         )
         for name in names
         for size in sizes
@@ -397,18 +408,22 @@ def run_all_figures(
     cache: Optional[ResultCache] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir=None,
+    config: Optional[GPUConfig] = None,
 ) -> List[Experiment]:
     """Regenerate every table and figure; returns them in paper order.
 
     ``jobs`` parallelizes the underlying sweeps across worker processes;
     ``cache`` persists every simulation result on disk;
     ``checkpoint_every``/``checkpoint_dir`` checkpoint long simulations
-    for crash recovery (see :func:`repro.harness.runner.run_jobs`).
+    for crash recovery (see :func:`repro.harness.runner.run_jobs`);
+    ``config`` overrides the grid's GPU configuration (e.g. a non-default
+    execution core).
     """
     grid = run_grid(
         benchmarks=benchmarks, scale=scale, latency_scale=latency_scale,
         verbose=verbose, jobs=jobs, cache=cache,
         checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        config=config,
     )
     experiments = [
         table2_configuration(),
@@ -424,6 +439,7 @@ def run_all_figures(
             benchmarks=agt_benchmarks, scale=scale, latency_scale=latency_scale,
             verbose=verbose, jobs=jobs, cache=cache,
             checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+            core=config.core if config is not None else None,
         ),
         overhead_analysis(),
     ]

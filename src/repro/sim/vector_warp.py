@@ -1,0 +1,643 @@
+"""The vector execution core: cross-warp SoA batch execution.
+
+:class:`VectorWarp` extends :class:`~repro.sim.fast_warp.FastWarp` with
+structure-of-arrays register storage: every warp's ``regs_i`` /
+``regs_f`` banks are 2-D ``[register, lane]`` views into a per-program
+:class:`RegisterSlab` — one 3-D ``[warp_row, register, lane]`` array per
+program per GPU.  Because all resident warps of a program share one
+backing array, a *group* of warps parked at the same pc can execute a
+straight-line instruction run as single NumPy kernels over the whole
+group (``slab[rows, reg]`` gathers an operand for every warp in one
+call), instead of one closure call per warp per instruction.
+
+The grouping decision itself lives in
+:class:`~repro.sim.smx_scheduler.GroupDispatcher`; this module provides
+the data-parallel machinery:
+
+* :func:`vector_decode` — a per-program table of
+  :class:`VectorRow` metadata saying, for every pc, whether and how the
+  instructions from that pc onward can execute as a group (ALU span,
+  native global-memory op, or scalar-private control op), built on the
+  same decode the fast core uses plus
+  :func:`repro.isa.regions.vectorizable_spans`;
+* batched instruction kernels mirroring the fast core's closures with
+  an extra leading *warp* axis and per-warp stacked ``where=`` masks
+  (grouping, unlike superblock fusion, does not require a full mask);
+* :func:`execute_alu_batch` / :func:`execute_mem_batch` — run one
+  homogeneous group with bit-identical architectural results and
+  per-instruction statistics.
+
+Everything here preserves the stat-exactness contract: registers, the
+divergence stack and additive counters are warp-private, so batched ALU
+execution commutes with any interleaving; memory operations keep their
+exact per-warp issue cycles and global time order (see the dispatcher's
+bound proof).  The reference and fast cores remain the oracles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SEGMENT_WORDS, WARP_SIZE
+from ..errors import ExecutionError
+from ..isa.instructions import Opcode, Reg
+from ..isa.regions import vectorizable_spans
+from ..memory.coalescing import coalesce_address_list
+from .fast_warp import (
+    _CMP_FUNCS,
+    _FLT_BIN_UFUNCS,
+    _FUSABLE_OPS,
+    _INT_BIN_UFUNCS,
+    _SFU_OPS,
+    _SPECIAL_GETTERS,
+    FastWarp,
+    _enc_f,
+    _enc_i,
+    decode_program,
+)
+
+
+# ----------------------------------------------------------------------
+# Per-program register slab
+# ----------------------------------------------------------------------
+class RegisterSlab:
+    """SoA register backing store for all resident warps of one program.
+
+    Rows are allocated per warp at construction and freed when the
+    warp's block retires.  The arrays are sized for the GPU-wide
+    resident-warp maximum up front: growing them later would detach the
+    2-D views live warps hold.  Freed rows are zeroed so re-allocation
+    matches a fresh warp's zero-initialized registers.
+    """
+
+    __slots__ = ("program", "arr_i", "arr_f", "_free")
+
+    def __init__(self, program, rows: int, n_int: int, n_flt: int) -> None:
+        self.program = program  # strong ref: the id()-keyed registry must not alias
+        self.arr_i = np.zeros((rows, n_int, WARP_SIZE), dtype=np.int64)
+        self.arr_f = np.zeros((rows, n_flt, WARP_SIZE), dtype=np.float64)
+        self._free: List[int] = list(range(rows - 1, -1, -1))
+
+    def alloc(self) -> int:
+        return self._free.pop()
+
+    def free(self, row: int) -> None:
+        self.arr_i[row] = 0
+        self.arr_f[row] = 0
+        self._free.append(row)
+
+
+# ----------------------------------------------------------------------
+# Batched instruction kernels
+#
+# Each builder mirrors its scalar counterpart in fast_warp exactly, with
+# a leading group axis: operands become ``slab[rows, reg]`` gathers of
+# shape (g, WARP_SIZE), and the frame mask becomes a stacked (g,
+# WARP_SIZE) boolean array (``None`` when every member frame is full).
+# Results are computed for all lanes and merged under the mask — the
+# same values ``where=`` writes produce, since masked-out lanes hold
+# real register contents, not garbage.
+# ----------------------------------------------------------------------
+def _bwrite(bank, rows, d, result, mask):
+    if mask is None:
+        bank[rows, d] = result
+    else:
+        bank[rows, d] = np.where(mask, result, bank[rows, d])
+
+
+def _bival(si, rows, idx, imm):
+    return si[rows, idx] if idx >= 0 else imm
+
+
+def _bfval(si, sf, rows, kind, idx, imm):
+    if kind == 0:
+        return sf[rows, idx]
+    if kind == 1:
+        return si[rows, idx].astype(np.float64)
+    return imm
+
+
+def _bmake_ibin(instr):
+    ufunc = _INT_BIN_UFUNCS[instr.op]
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    b = _enc_i(instr.b)
+    if a is None or b is None:
+        return None
+    ai, av = a
+    bi, bv = b
+
+    def brun(si, sf, rows, mask, warps):
+        _bwrite(si, rows, d, ufunc(_bival(si, rows, ai, av), _bival(si, rows, bi, bv)), mask)
+
+    return brun
+
+
+def _bmake_idivmod(instr):
+    ufunc = np.floor_divide if instr.op == Opcode.IDIV else np.remainder
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    b = _enc_i(instr.b)
+    if a is None or b is None:
+        return None
+    ai, av = a
+    bi, bv = b
+
+    def brun(si, sf, rows, mask, warps):
+        av_ = _bival(si, rows, ai, av)
+        if bi >= 0:
+            bv_ = si[rows, bi]
+            safe = np.where(bv_ == 0, 1, bv_)
+        else:
+            safe = 1 if bv == 0 else bv
+        _bwrite(si, rows, d, ufunc(av_, safe), mask)
+
+    return brun
+
+
+def _bmake_iunary(instr):
+    ufunc = np.negative if instr.op == Opcode.INEG else np.bitwise_not
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    if a is None:
+        return None
+    ai, av = a
+
+    def brun(si, sf, rows, mask, warps):
+        _bwrite(si, rows, d, ufunc(_bival(si, rows, ai, av)), mask)
+
+    return brun
+
+
+def _bmake_mov(instr):
+    d = instr.dst.idx
+    if type(instr.a) is Reg:
+        ai, av = instr.a.idx, 0
+    else:
+        ai, av = -1, instr.a.value
+
+    def brun(si, sf, rows, mask, warps):
+        src = si[rows, ai] if ai >= 0 else av
+        if mask is None:
+            si[rows, d] = src
+        else:
+            si[rows, d] = np.where(mask, np.asarray(src), si[rows, d])
+
+    return brun
+
+
+def _bmake_fbin(instr):
+    ufunc = _FLT_BIN_UFUNCS[instr.op]
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+    bk, bi, bv = _enc_f(instr.b)
+
+    def brun(si, sf, rows, mask, warps):
+        _bwrite(
+            sf, rows, d,
+            ufunc(_bfval(si, sf, rows, ak, ai, av), _bfval(si, sf, rows, bk, bi, bv)),
+            mask,
+        )
+
+    return brun
+
+
+def _bmake_fdiv(instr):
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+    bk, bi, bv = _enc_f(instr.b)
+
+    def brun(si, sf, rows, mask, warps):
+        av_ = _bfval(si, sf, rows, ak, ai, av)
+        bv_ = _bfval(si, sf, rows, bk, bi, bv)
+        if isinstance(bv_, np.ndarray):
+            safe = np.where(bv_ == 0.0, 1.0, bv_)
+        else:
+            safe = 1.0 if bv_ == 0.0 else bv_
+        _bwrite(sf, rows, d, np.divide(av_, safe), mask)
+
+    return brun
+
+
+def _bmake_funary(instr):
+    op = instr.op
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+
+    def brun(si, sf, rows, mask, warps):
+        av_ = _bfval(si, sf, rows, ak, ai, av)
+        if op == Opcode.FNEG:
+            result = np.negative(av_)
+        elif op == Opcode.FABS:
+            result = np.abs(np.asarray(av_))
+        elif op == Opcode.FSQRT:
+            result = np.sqrt(np.abs(np.asarray(av_, dtype=np.float64)))
+        else:  # FMOV
+            result = np.asarray(av_)
+        _bwrite(sf, rows, d, result, mask)
+
+    return brun
+
+
+def _bmake_itof(instr):
+    d = instr.dst.idx
+    if type(instr.a) is Reg:
+        ai, av = instr.a.idx, 0.0
+    else:
+        ai, av = -1, instr.a.value
+
+    def brun(si, sf, rows, mask, warps):
+        src = si[rows, ai] if ai >= 0 else np.asarray(av, dtype=np.float64)
+        _bwrite(sf, rows, d, src, mask)
+
+    return brun
+
+
+def _bmake_ftoi(instr):
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+
+    def brun(si, sf, rows, mask, warps):
+        src = np.asarray(
+            _bfval(si, sf, rows, ak, ai, av), dtype=np.float64
+        ).astype(np.int64)
+        _bwrite(si, rows, d, src, mask)
+
+    return brun
+
+
+def _bmake_setp(instr):
+    fn = _CMP_FUNCS[instr.cmp]
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    b = _enc_i(instr.b)
+    if a is None or b is None:
+        return None
+    ai, av = a
+    bi, bv = b
+
+    def brun(si, sf, rows, mask, warps):
+        result = fn(
+            np.asarray(_bival(si, rows, ai, av)), np.asarray(_bival(si, rows, bi, bv))
+        )
+        _bwrite(si, rows, d, result, mask)
+
+    return brun
+
+
+def _bmake_fsetp(instr):
+    fn = _CMP_FUNCS[instr.cmp]
+    d = instr.dst.idx
+    ak, ai, av = _enc_f(instr.a)
+    bk, bi, bv = _enc_f(instr.b)
+
+    def brun(si, sf, rows, mask, warps):
+        result = fn(
+            np.asarray(_bfval(si, sf, rows, ak, ai, av), dtype=np.float64),
+            np.asarray(_bfval(si, sf, rows, bk, bi, bv), dtype=np.float64),
+        )
+        _bwrite(si, rows, d, result, mask)
+
+    return brun
+
+
+def _bmake_selp(instr):
+    d = instr.dst.idx
+    a = _enc_i(instr.a)
+    b = _enc_i(instr.b)
+    c = _enc_i(instr.c)
+    if a is None or b is None or c is None:
+        return None
+    ai, av = a
+    bi, bv = b
+    ci, cv = c
+
+    def brun(si, sf, rows, mask, warps):
+        cond = (si[rows, ci] != 0) if ci >= 0 else (cv != 0)
+        result = np.where(cond, _bival(si, rows, ai, av), _bival(si, rows, bi, bv))
+        _bwrite(si, rows, d, result, mask)
+
+    return brun
+
+
+def _bmake_read_special(instr):
+    getter = _SPECIAL_GETTERS.get(instr.special)
+    if getter is None:
+        return None
+    d = instr.dst.idx
+
+    def brun(si, sf, rows, mask, warps):
+        first = getter(warps[0])
+        if isinstance(first, np.ndarray):
+            value = np.stack([getter(w) for w in warps])
+        else:
+            value = np.array([getter(w) for w in warps], dtype=np.int64)[:, None]
+        _bwrite(si, rows, d, value, mask)
+
+    return brun
+
+
+_BATCH_BUILDERS = {
+    Opcode.IADD: _bmake_ibin,
+    Opcode.ISUB: _bmake_ibin,
+    Opcode.IMUL: _bmake_ibin,
+    Opcode.IMIN: _bmake_ibin,
+    Opcode.IMAX: _bmake_ibin,
+    Opcode.IAND: _bmake_ibin,
+    Opcode.IOR: _bmake_ibin,
+    Opcode.IXOR: _bmake_ibin,
+    Opcode.ISHL: _bmake_ibin,
+    Opcode.ISHR: _bmake_ibin,
+    Opcode.IDIV: _bmake_idivmod,
+    Opcode.IMOD: _bmake_idivmod,
+    Opcode.INEG: _bmake_iunary,
+    Opcode.INOT: _bmake_iunary,
+    Opcode.MOV: _bmake_mov,
+    Opcode.FADD: _bmake_fbin,
+    Opcode.FSUB: _bmake_fbin,
+    Opcode.FMUL: _bmake_fbin,
+    Opcode.FMIN: _bmake_fbin,
+    Opcode.FMAX: _bmake_fbin,
+    Opcode.FDIV: _bmake_fdiv,
+    Opcode.FNEG: _bmake_funary,
+    Opcode.FSQRT: _bmake_funary,
+    Opcode.FABS: _bmake_funary,
+    Opcode.FMOV: _bmake_funary,
+    Opcode.ITOF: _bmake_itof,
+    Opcode.FTOI: _bmake_ftoi,
+    Opcode.SETP: _bmake_setp,
+    Opcode.FSETP: _bmake_fsetp,
+    Opcode.SELP: _bmake_selp,
+    Opcode.READ_SPECIAL: _bmake_read_special,
+}
+
+#: Memory opcodes whose completion waits on the memory system (the
+#: dispatcher's cohort-lag bound uses the L2 hit latency as the lower
+#: bound on their re-ready distance); stores complete at the ALU latency.
+_MEM_LOAD_OPS = frozenset(
+    {
+        Opcode.LD,
+        Opcode.FLD,
+        Opcode.ATOM_ADD,
+        Opcode.ATOM_MIN,
+        Opcode.ATOM_MAX,
+        Opcode.ATOM_OR,
+        Opcode.ATOM_EXCH,
+        Opcode.ATOM_CAS,
+    }
+)
+
+#: Scalar-private control opcodes groupable as kind-3 rows.
+_CONTROL_OPS = frozenset({Opcode.BRA, Opcode.JOIN, Opcode.NOP})
+
+#: Smallest group size worth the batched-kernel overhead; smaller
+#: groups run the per-warp scalar closures (same results, same timing).
+_BATCH_MIN = 4
+
+
+class VectorRow:
+    """Group-execution metadata for one pc.
+
+    ``kind`` selects the execution form:
+
+    * 1 — straight-line ALU span of ``length`` fusable native ops
+      starting here (``bruns`` are the batched kernels, ``runs`` the
+      scalar closures for singleton groups);
+    * 2 — one native global-memory op (``runs[0]``; ``mem`` carries
+      ``(is_float, dst, base_idx, offset)`` for the batched full-mask
+      load path, else ``None``);
+    * 3 — one scalar-private control op (BRA/JOIN/NOP).
+
+    ``latsel`` names the smallest latency any member instruction can
+    re-ready at ("alu", "sfu", "min" of both, "load" for L2-bounded
+    completions, "one" for JOIN/NOP's fixed single cycle); the
+    dispatcher requires the per-SMX cohort lag to stay strictly below
+    it so deferred-issue arithmetic stays exact.
+
+    ``head`` is the single-op degradation of this row: the row itself
+    for single-op rows, a separate length-1 row covering just the first
+    instruction for multi-op spans.  The dispatcher falls back to heads
+    when a whole span cannot be executed without perturbing the
+    reference schedule (mixed pcs on one SMX, span too long for the
+    isolation bound) — one issue per warp, exactly what the pop loop
+    does when it cannot fuse.
+    """
+
+    __slots__ = (
+        "kind", "start", "length", "ops", "runs", "bruns",
+        "sfu_flags", "n_alu", "n_sfu", "latsel", "mem", "head",
+    )
+
+    def __init__(self, kind, start, ops, runs, bruns=(), latsel="alu", mem=None):
+        self.kind = kind
+        self.start = start
+        self.length = len(ops)
+        self.ops = ops
+        self.runs = runs
+        self.bruns = bruns
+        self.sfu_flags = tuple(op in _SFU_OPS for op in ops)
+        self.n_sfu = sum(self.sfu_flags)
+        self.n_alu = self.length - self.n_sfu
+        self.latsel = latsel
+        self.mem = mem
+        self.head = self
+
+
+def vector_decode(program) -> list:
+    """Per-pc :class:`VectorRow` table for ``program`` (cached).
+
+    Built on top of :func:`~repro.sim.fast_warp.decode_program`: a pc is
+    ALU-vectorizable exactly when the fast decode produced a native
+    warp-private closure for a fusable opcode there.  Unlike superblock
+    fusion, spans of length 1 qualify (a group of warps amortizes the
+    dispatch even for a single instruction), and a row is emitted for
+    *every* offset into a span so warps that single-stepped into the
+    middle of one can still group on the remaining suffix.
+    """
+    cached = getattr(program, "_vector_table", None)
+    if cached is not None:
+        return cached
+    table, _n_int, _n_flt, _regions = decode_program(program)
+    instrs = program.instructions
+    vt: List[Optional[VectorRow]] = [None] * len(instrs)
+
+    def alu_ok(pc, instr):
+        if table[pc][2] != 1 or instr.op not in _FUSABLE_OPS:
+            return False
+        builder = _BATCH_BUILDERS.get(instr.op)
+        return builder is not None and builder(instr) is not None
+
+    for start, length in vectorizable_spans(instrs, alu_ok):
+        ops = tuple(table[pc][1] for pc in range(start, start + length))
+        runs = tuple(table[pc][0] for pc in range(start, start + length))
+        bruns = tuple(
+            _BATCH_BUILDERS[instrs[pc].op](instrs[pc])
+            for pc in range(start, start + length)
+        )
+        for k in range(length):
+            sub_ops = ops[k:]
+            has_sfu = any(op in _SFU_OPS for op in sub_ops)
+            has_alu = any(op not in _SFU_OPS for op in sub_ops)
+            latsel = "min" if (has_sfu and has_alu) else ("sfu" if has_sfu else "alu")
+            row = VectorRow(1, start + k, sub_ops, runs[k:], bruns[k:], latsel)
+            if row.length > 1:
+                row.head = VectorRow(
+                    1,
+                    start + k,
+                    sub_ops[:1],
+                    runs[k : k + 1],
+                    bruns[k : k + 1],
+                    "sfu" if sub_ops[0] in _SFU_OPS else "alu",
+                )
+            vt[start + k] = row
+
+    for pc, instr in enumerate(instrs):
+        if vt[pc] is not None:
+            continue
+        run, op, klass, _region = table[pc]
+        if klass == 2:
+            mem = None
+            if op in (Opcode.LD, Opcode.FLD) and type(instr.a) is Reg:
+                mem = (op == Opcode.FLD, instr.dst.idx, instr.a.idx, instr.offset)
+            latsel = "load" if op in _MEM_LOAD_OPS else "alu"
+            vt[pc] = VectorRow(2, pc, (op,), (run,), latsel=latsel, mem=mem)
+        elif klass == 1 and op in _CONTROL_OPS:
+            latsel = "alu" if op == Opcode.BRA else "one"
+            vt[pc] = VectorRow(3, pc, (op,), (run,), latsel=latsel)
+
+    program._vector_table = vt
+    return vt
+
+
+# ----------------------------------------------------------------------
+# Group execution
+#
+# Called by the dispatcher with a homogeneous batch: warps of one
+# program, all parked at the row's pc, with per-warp issue cycles
+# already proven interference-free.  ``members`` is a list of
+# ``(start_cycle, smx_id, warp, frame)``.
+# ----------------------------------------------------------------------
+def execute_alu_batch(row, members, alu_lat, sfu_lat) -> None:
+    """Run one ALU span for every member warp; set pc and ready_cycle."""
+    duration = row.n_alu * alu_lat + row.n_sfu * sfu_lat
+    end_pc = row.start + row.length
+    if len(members) < _BATCH_MIN:
+        # Tiny groups: per-warp scalar closures beat the fancy-indexing
+        # overhead of the batched kernels.
+        for start, _smx_id, warp, frame in members:
+            c = start
+            for run in row.runs:
+                run(warp, frame, c)
+                c = warp.ready_cycle
+            frame[0] = end_pc
+            warp.ready_cycle = start + duration
+        return
+    warps = [m[2] for m in members]
+    slab = warps[0]._slab
+    rows_idx = np.fromiter(
+        (w._slab_row for w in warps), dtype=np.intp, count=len(warps)
+    )
+    if all(m[3][4] for m in members):
+        mask = None
+    else:
+        mask = np.stack([m[3][2] for m in members])
+    si = slab.arr_i
+    sf = slab.arr_f
+    for brun in row.bruns:
+        brun(si, sf, rows_idx, mask, warps)
+    for start, _smx_id, warp, frame in members:
+        frame[0] = end_pc
+        warp.ready_cycle = start + duration
+
+
+def execute_mem_batch(row, members, memsys) -> None:
+    """Run one native global-memory op for every member warp.
+
+    ``members`` must already be in global time order (ascending start
+    cycle, same-cycle members in SMX/pop order): DRAM bank and row
+    state and the L2's LRU depend on access order.  Full-mask loads
+    take a batched path — one address gather, one grouped timing pass
+    (:meth:`MemorySubsystem.warp_access_batch
+    <repro.memory.dram.MemorySubsystem.warp_access_batch>`), one data
+    gather and one scatter for the whole group; everything else runs
+    the scalar closure per warp at its exact issue cycle.
+    """
+    if (
+        row.mem is not None
+        and len(members) >= _BATCH_MIN
+        and all(m[3][4] for m in members)
+    ):
+        is_float, d, base_idx, off = row.mem
+        warps = [m[2] for m in members]
+        w0 = warps[0]
+        slab = w0._slab
+        rows_idx = np.fromiter(
+            (w._slab_row for w in warps), dtype=np.intp, count=len(warps)
+        )
+        bases = slab.arr_i[rows_idx, base_idx]
+        addrs = bases + off if off else bases
+        alists = addrs.tolist()
+        mem_size = w0._mem_size
+        jobs = []
+        for (start, _smx_id, warp, _frame), alist in zip(members, alists):
+            lo = min(alist)
+            hi = max(alist)
+            if lo < 0 or hi >= mem_size:
+                raise ExecutionError(
+                    f"kernel {warp.tb.func.name!r}: global access out of range "
+                    f"(addr {lo}..{hi}, mem size {mem_size})"
+                )
+            if hi - lo < SEGMENT_WORDS:
+                s0 = lo // SEGMENT_WORDS
+                s1 = hi // SEGMENT_WORDS
+                segments = [s0] if s0 == s1 else [s0, s1]
+            else:
+                segments = coalesce_address_list(alist)
+            cstats = warp._cstats
+            cstats.warp_accesses += 1
+            cstats.transactions += len(segments)
+            cstats.lanes += len(alist)
+            cstats.histogram[len(segments)] += 1
+            jobs.append((segments, start))
+        completions = memsys.warp_access_batch(jobs, False)
+        mem = w0._mem_f if is_float else w0._mem_i
+        bank = slab.arr_f if is_float else slab.arr_i
+        bank[rows_idx, d] = mem[addrs]
+        end_pc = row.start + 1
+        for (start, _smx_id, warp, frame), done in zip(members, completions):
+            frame[0] = end_pc
+            warp.ready_cycle = done
+        return
+    for start, _smx_id, warp, frame in members:
+        if not row.runs[0](warp, frame, start):
+            frame[0] = row.start + 1
+
+
+def execute_control_batch(row, members) -> None:
+    """Run one BRA/JOIN/NOP for every member warp at its issue cycle."""
+    run = row.runs[0]
+    for start, _smx_id, warp, frame in members:
+        if not run(warp, frame, start):
+            frame[0] = row.start + 1
+
+
+class VectorWarp(FastWarp):
+    """FastWarp whose registers live in the per-program SoA slab."""
+
+    __slots__ = ("_vtable", "_slab", "_slab_row")
+
+    def _alloc_registers(self, n_int: int, n_flt: int) -> None:
+        program = self.tb.func.program
+        slab = self._gpu._vector_slab(program, n_int, n_flt)
+        row = slab.alloc()
+        self._slab = slab
+        self._slab_row = row
+        self.regs_i = slab.arr_i[row]
+        self.regs_f = slab.arr_f[row]
+        self._vtable = vector_decode(program)
+
+    def release_slab(self) -> None:
+        """Return this warp's slab row (called when its block retires)."""
+        self._slab.free(self._slab_row)

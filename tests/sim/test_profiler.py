@@ -32,7 +32,7 @@ def _kernel() -> KernelFunction:
 def _run(profiler, fast=True, fake_clock=False):
     if fake_clock:
         profiler._clock = iter(range(10**6)).__next__
-    config = dataclasses.replace(GPUConfig.small(), fast_core=fast)
+    config = dataclasses.replace(GPUConfig.small(), core=("fast" if fast else "reference"))
     dev = Device(config=config)
     dev.attach_tracer(profiler)
     dev.register(_kernel())
@@ -100,7 +100,7 @@ class TestHotPathProfiler:
 
 
 def _run_plain():
-    config = dataclasses.replace(GPUConfig.small(), fast_core=True)
+    config = dataclasses.replace(GPUConfig.small(), core="fast")
     dev = Device(config=config)
     dev.register(_kernel())
     n = 300
@@ -115,7 +115,7 @@ class TestGlobalActivation:
     def test_activate_installs_on_new_gpus(self):
         prof = profiler_mod.activate()
         try:
-            config = dataclasses.replace(GPUConfig.small(), fast_core=True)
+            config = dataclasses.replace(GPUConfig.small(), core="fast")
             dev = Device(config=config)
             dev.register(_kernel())
             n = 100
@@ -129,6 +129,6 @@ class TestGlobalActivation:
         assert profiler_mod.active_profiler() is None
 
     def test_deactivated_gpus_have_no_tracer(self):
-        config = dataclasses.replace(GPUConfig.small(), fast_core=True)
+        config = dataclasses.replace(GPUConfig.small(), core="fast")
         dev = Device(config=config)
         assert dev.gpu.tracer is None

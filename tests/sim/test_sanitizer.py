@@ -25,7 +25,7 @@ from repro.errors import ConfigError
 
 
 def _device(fast: bool, mode: ExecutionMode = ExecutionMode.FLAT, sanitize=True) -> Device:
-    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    config = dataclasses.replace(GPUConfig.k20c(), core=("fast" if fast else "reference"))
     return Device(config=config, mode=mode, sanitize=sanitize)
 
 

@@ -50,7 +50,7 @@ def _build(data, mult, add, mode=ExecutionMode.FLAT, fast=False,
            sanitize=True):
     """Fresh device + registered map kernel + uploaded inputs."""
     config = dataclasses.replace(
-        GPUConfig.k20c(), fast_core=fast, sanitize=sanitize
+        GPUConfig.k20c(), core=("fast" if fast else "reference"), sanitize=sanitize
     )
     dev = make_device(mode, config=config)
     func = map_kernel(
@@ -278,7 +278,7 @@ class TestRoundTripProperty:
 def _workload(bench, mode, fast):
     workload = get_benchmark(bench, ExecutionMode(mode), SCALE)
     config = dataclasses.replace(
-        GPUConfig.k20c(), fast_core=fast, sanitize=True
+        GPUConfig.k20c(), core=("fast" if fast else "reference"), sanitize=True
     )
     return workload, config
 

@@ -77,6 +77,57 @@ class TestGPUConfigValidation:
             GPUConfig.k20c().num_smx = 5  # type: ignore[misc]
 
 
+class TestCoreSelection:
+    """The three-way execution-core switch and its deprecated alias."""
+
+    def test_default_resolves_to_fast(self):
+        cfg = GPUConfig.k20c()
+        assert cfg.core is None
+        assert cfg.execution_core == "fast"
+
+    def test_explicit_cores_resolve_to_themselves(self):
+        for core in ("reference", "fast", "vector"):
+            cfg = dataclasses.replace(GPUConfig.k20c(), core=core)
+            assert cfg.execution_core == core
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(GPUConfig.k20c(), core="warp-speed")
+
+    def test_fast_core_alias_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = dataclasses.replace(GPUConfig.k20c(), fast_core=True)
+        assert cfg.execution_core == "fast"
+        with pytest.warns(DeprecationWarning):
+            cfg = dataclasses.replace(GPUConfig.k20c(), fast_core=False)
+        assert cfg.execution_core == "reference"
+
+    def test_alias_conflict_rejected(self):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(
+                GPUConfig.k20c(), core="reference", fast_core=True
+            )
+
+    def test_alias_agreement_accepted_without_warning(self):
+        # `core` set: the alias is redundant but consistent, no warning.
+        cfg = dataclasses.replace(GPUConfig.k20c(), core="fast", fast_core=True)
+        assert cfg.execution_core == "fast"
+        # The vector core subsumes the fast core, so fast_core=True with
+        # core="vector" is a consistent upgrade, not a conflict.
+        cfg = dataclasses.replace(
+            GPUConfig.k20c(), core="vector", fast_core=True
+        )
+        assert cfg.execution_core == "vector"
+
+    def test_cores_fingerprint_distinctly(self):
+        fps = {
+            dataclasses.replace(GPUConfig.k20c(), core=core).fingerprint()
+            for core in ("reference", "fast", "vector")
+        }
+        fps.add(GPUConfig.k20c().fingerprint())
+        assert len(fps) == 4
+
+
 class TestLatencyModelTable3:
     """Measured latencies must match the paper's Table 3."""
 

@@ -1,12 +1,14 @@
 """Differential tests: the fast core must be stat-exact with the reference.
 
-The vectorized/event-driven execution core (``GPUConfig.fast_core=True``,
-the default) is a pure performance feature: every statistic the simulator
-reports — total cycles, per-launch timelines, coalescing histogram, DRAM
-row activity, occupancy integrals, divergence counts — must be *bit
-identical* to the reference interpreter (``fast_core=False``).  These
+The event-driven execution core (``GPUConfig.core="fast"``, the default)
+is a pure performance feature: every statistic the simulator reports —
+total cycles, per-launch timelines, coalescing histogram, DRAM row
+activity, occupancy integrals, divergence counts — must be *bit
+identical* to the reference interpreter (``core="reference"``).  These
 tests run full workloads and targeted micro-kernels under both cores and
 compare a complete fingerprint of :class:`~repro.sim.stats.SimStats`.
+The SoA vector core (``core="vector"``) gets the same treatment in
+:mod:`tests.test_random_programs` and the golden corpus.
 """
 
 from __future__ import annotations
@@ -66,7 +68,7 @@ def fingerprint(stats):
 
 
 def _config(fast: bool) -> GPUConfig:
-    return dataclasses.replace(GPUConfig.small(), fast_core=fast)
+    return dataclasses.replace(GPUConfig.small(), core=("fast" if fast else "reference"))
 
 
 def _workload_fingerprint(name: str, mode: ExecutionMode, fast: bool, scale: float):
@@ -334,5 +336,5 @@ class TestFusionAdversarial:
 
 
 def test_fast_core_is_default():
-    assert GPUConfig().fast_core is True
-    assert GPUConfig.k20c().fast_core is True
+    assert GPUConfig().execution_core == "fast"
+    assert GPUConfig.k20c().execution_core == "fast"

@@ -23,34 +23,35 @@ SCALE = 0.08
 LATENCY_SCALE = 0.25
 BENCHMARKS = ("bfs_citation", "bht")
 MODES = ("flat", "cdp", "dtbl", "cdpa", "cons")
-CORES = (("ref", False), ("fast", True))
+#: Corpus file tag -> GPUConfig.core selection.
+CORES = (("ref", "reference"), ("fast", "fast"), ("vector", "vector"))
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 GRID = [
-    (bench, mode, core, fast)
+    (bench, mode, tag, core)
     for bench in BENCHMARKS
     for mode in MODES
-    for core, fast in CORES
+    for tag, core in CORES
 ]
 
 
 def test_corpus_is_exactly_the_pinned_grid():
     """No missing and no stale golden files."""
-    expected = {f"{b}-{m}-{c}.json" for b, m, c, _ in GRID}
+    expected = {f"{b}-{m}-{t}.json" for b, m, t, _ in GRID}
     actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
     assert actual == expected
 
 
 @pytest.mark.parametrize(
-    "bench,mode,core,fast", GRID,
-    ids=[f"{b}-{m}-{c}" for b, m, c, _ in GRID],
+    "bench,mode,tag,core", GRID,
+    ids=[f"{b}-{m}-{t}" for b, m, t, _ in GRID],
 )
-def test_stats_match_golden(bench, mode, core, fast):
+def test_stats_match_golden(bench, mode, tag, core):
     golden = json.loads(
-        (GOLDEN_DIR / f"{bench}-{mode}-{core}.json").read_text()
+        (GOLDEN_DIR / f"{bench}-{mode}-{tag}.json").read_text()
     )
     workload = get_benchmark(bench, ExecutionMode(mode), SCALE)
-    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    config = dataclasses.replace(GPUConfig.k20c(), core=core)
     result = workload.execute(config=config, latency_scale=LATENCY_SCALE)
     live = json.loads(json.dumps(result.stats.to_dict()))
     if live != golden:

@@ -74,7 +74,7 @@ def run_mode(mode: ExecutionMode, degrees, fast: bool):
     n = len(degrees)
     offsets = np.concatenate([[0], np.cumsum(degrees)[:-1]]).astype(np.int64)
     total = int(np.sum(degrees))
-    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    config = dataclasses.replace(GPUConfig.k20c(), core=("fast" if fast else "reference"))
     dev = Device(config=config, mode=mode, sanitize=True)
     dev.register(build_parent(mode))
     if mode.is_dynamic:

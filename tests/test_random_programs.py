@@ -8,9 +8,14 @@ stresses the PDOM reconvergence stack with arbitrary nesting shapes.
 
 The memory-op differential fuzz extends the grammar with global
 loads/stores at computed addresses, shared-memory staging separated by
-barriers, and atomic adds, and runs every program through *both*
-execution cores (reference and fast) with the sanitizer enabled: results
-must match the evaluator exactly and the sanitizer must stay clean.
+barriers, and atomic adds, and runs every program through all three
+execution cores (reference, fast and vector) with the sanitizer enabled:
+results must match the evaluator exactly and the sanitizer must stay
+clean.  A second, unsanitized pass compares the cores' full
+:class:`~repro.sim.stats.SimStats` — that is the path where the vector
+core's group dispatcher actually engages (the sanitizer forces its
+per-warp fallback), so it is the differential that guards batched
+execution.
 """
 
 from __future__ import annotations
@@ -228,36 +233,66 @@ def evaluate_mem_fuzz(data, phases, blocks):
     return out, scratch, counter
 
 
+def _run_mem_fuzz(func, data, blocks, core, sanitize):
+    """One run; returns (dst, scratch, counter, stats fingerprint)."""
+    config = dataclasses.replace(GPUConfig.k20c(), core=core)
+    dev = Device(config=config, mode=ExecutionMode.FLAT, sanitize=sanitize)
+    dev.register(func)
+    n = len(data)
+    src = dev.upload(np.asarray(data, dtype=np.int64))
+    dst = dev.alloc(n)
+    scratch = dev.alloc(blocks * _BLOCK * 4)
+    counter = dev.alloc(1)
+    dev.write_int(counter.addr, 0)
+    dev.launch("mem_fuzz", grid=blocks, block=_BLOCK,
+               params=[n, src, dst, scratch, counter])
+    dev.synchronize()
+    if sanitize:
+        assert dev.sanitizer_report().clean, dev.sanitizer_report().format()
+    from tests.test_fast_core_differential import fingerprint
+
+    return (
+        dst.download(), scratch.download(), dev.read_int(counter.addr),
+        fingerprint(dev.stats),
+    )
+
+
 class TestMemoryOpFuzz:
     @settings(max_examples=15, deadline=None)
     @given(
         phases=_phases(),
         data=st.lists(st.integers(-30, 30), min_size=1, max_size=2 * _BLOCK),
     )
-    def test_both_cores_match_evaluator(self, phases, data):
+    def test_all_cores_match_evaluator(self, phases, data):
         func = build_mem_fuzz(phases)
         blocks = (len(data) + _BLOCK - 1) // _BLOCK
         results = []
-        for fast in (True, False):
-            config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
-            dev = Device(config=config, mode=ExecutionMode.FLAT, sanitize=True)
-            dev.register(func)
-            n = len(data)
-            src = dev.upload(np.asarray(data, dtype=np.int64))
-            dst = dev.alloc(n)
-            scratch = dev.alloc(blocks * _BLOCK * 4)
-            counter = dev.alloc(1)
-            dev.write_int(counter.addr, 0)
-            dev.launch("mem_fuzz", grid=blocks, block=_BLOCK,
-                       params=[n, src, dst, scratch, counter])
-            dev.synchronize()
-            assert dev.sanitizer_report().clean, dev.sanitizer_report().format()
-            results.append(
-                (dst.download(), scratch.download(), dev.read_int(counter.addr))
-            )
-
+        for core in ("fast", "reference", "vector"):
+            got = _run_mem_fuzz(func, data, blocks, core, sanitize=True)
+            results.append(got)
         out, scr, cnt = evaluate_mem_fuzz(data, phases, blocks)
-        for got_out, got_scr, got_cnt in results:
+        for got_out, got_scr, got_cnt, _stats in results:
             np.testing.assert_array_equal(got_out, out)
             np.testing.assert_array_equal(got_scr, scr)
             assert got_cnt == cnt
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        phases=_phases(),
+        data=st.lists(st.integers(-30, 30), min_size=1, max_size=2 * _BLOCK),
+    )
+    def test_unsanitized_cores_agree_bit_exactly(self, phases, data):
+        """Results *and* SimStats identical across cores without the
+        sanitizer — the configuration where group dispatch runs."""
+        func = build_mem_fuzz(phases)
+        blocks = (len(data) + _BLOCK - 1) // _BLOCK
+        baseline = None
+        for core in ("reference", "fast", "vector"):
+            out, scr, cnt, stats = _run_mem_fuzz(
+                func, data, blocks, core, sanitize=False
+            )
+            current = (out.tolist(), scr.tolist(), cnt, stats)
+            if baseline is None:
+                baseline = current
+            else:
+                assert current == baseline, f"core {core!r} diverged"

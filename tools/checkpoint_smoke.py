@@ -46,7 +46,7 @@ def _bomb(doc):
 
 def smoke_one(fast: bool) -> bool:
     core = "fast" if fast else "ref"
-    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    config = dataclasses.replace(GPUConfig.k20c(), core=("fast" if fast else "reference"))
     job = JobSpec.create(BENCH, MODE, SCALE, LATENCY_SCALE, config=config)
     ckdir = tempfile.mkdtemp(prefix="repro-ckpt-smoke-")
     path = checkpoint_path_for(ckdir, job.fingerprint())

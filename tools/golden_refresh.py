@@ -3,7 +3,7 @@
 
 The corpus pins ``SimStats.to_dict()`` for a small benchmark grid —
 ``bfs_citation`` and ``bht`` in flat/cdp/dtbl plus the compiler-optimized
-cdpa/cons modes, on both simulation cores — at ``scale=0.08``,
+cdpa/cons modes, on all three simulation cores — at ``scale=0.08``,
 ``latency_scale=0.25`` on the K20c configuration.
 ``tests/test_golden_stats.py`` compares live simulations against these
 files *exactly*: any counter drift, however small, fails the suite.
@@ -35,14 +35,14 @@ SCALE = 0.08
 LATENCY_SCALE = 0.25
 BENCHMARKS = ("bfs_citation", "bht")
 MODES = ("flat", "cdp", "dtbl", "cdpa", "cons")
-CORES = (("ref", False), ("fast", True))
+CORES = (("ref", "reference"), ("fast", "fast"), ("vector", "vector"))
 GOLDEN_DIR = REPO / "tests" / "golden"
 
 
-def golden_stats(bench: str, mode: str, fast: bool) -> dict:
+def golden_stats(bench: str, mode: str, core: str) -> dict:
     """Simulate one pinned grid point and return its stats dictionary."""
     workload = get_benchmark(bench, ExecutionMode(mode), SCALE)
-    config = dataclasses.replace(GPUConfig.k20c(), fast_core=fast)
+    config = dataclasses.replace(GPUConfig.k20c(), core=core)
     result = workload.execute(config=config, latency_scale=LATENCY_SCALE)
     return result.stats.to_dict()
 
@@ -51,9 +51,9 @@ def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for bench in BENCHMARKS:
         for mode in MODES:
-            for core, fast in CORES:
-                stats = golden_stats(bench, mode, fast)
-                path = GOLDEN_DIR / f"{bench}-{mode}-{core}.json"
+            for tag, core in CORES:
+                stats = golden_stats(bench, mode, core)
+                path = GOLDEN_DIR / f"{bench}-{mode}-{tag}.json"
                 path.write_text(
                     json.dumps(stats, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8",

@@ -2,10 +2,15 @@
 """Perf smoke check: time the Fig. 11 benchmark suite against a baseline.
 
 Runs ``pytest benchmarks/test_fig11_speedup.py`` (which simulates the full
-benchmark grid with the fast core) under ``time.perf_counter`` and compares
-the wall-clock against the checked-in baseline in
-``benchmarks/perf_baseline.json``.  Exits non-zero if the run regresses by
-more than the baseline's ``max_regression`` fraction.
+benchmark grid) under ``time.perf_counter`` and compares the wall-clock
+against the checked-in baseline in ``benchmarks/perf_baseline.json``.
+Exits non-zero if the run regresses by more than the baseline's
+``max_regression`` fraction — but only when the baseline was measured on
+*this* host: wall-clock seconds from one machine say nothing about
+another, so a host mismatch downgrades the gate to a warning.
+
+``--core`` selects the execution core for the suite (exported to the
+pytest subprocess as ``REPRO_BENCH_CORE``; see ``benchmarks/conftest.py``).
 
 Refresh the baseline after intentional perf changes::
 
@@ -13,7 +18,9 @@ Refresh the baseline after intentional perf changes::
 
 ``--update`` also appends the measured wall-clock to ``BENCH_fig11.json``
 at the repo root — the suite's perf trajectory, one entry per refresh
-(i.e. per perf-relevant PR), oldest first.
+(i.e. per perf-relevant PR), oldest first — and normalizes any legacy
+bare-float entries (recorded before hosts and timestamps were tracked)
+into ``{seconds, host, timestamp}`` records with ``host: "unknown"``.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import pathlib
 import platform
 import subprocess
@@ -30,6 +38,10 @@ import time
 REPO = pathlib.Path(__file__).resolve().parent.parent
 BASELINE = REPO / "benchmarks" / "perf_baseline.json"
 TRAJECTORY = REPO / "BENCH_fig11.json"
+
+
+def this_host() -> str:
+    return platform.node() or "unknown"
 
 
 def trajectory_seconds(entry) -> float:
@@ -43,37 +55,85 @@ def trajectory_seconds(entry) -> float:
     return float(entry)
 
 
-def record_trajectory(elapsed: float) -> None:
+def trajectory_host(entry) -> str:
+    """Host one trajectory entry was measured on ("unknown" for legacy
+    bare-float entries, which predate host tracking)."""
+    if isinstance(entry, dict):
+        return entry.get("host") or "unknown"
+    return "unknown"
+
+
+def normalized_entry(entry) -> dict:
+    """One-shot migration of a legacy bare-float entry to record form."""
+    if isinstance(entry, dict):
+        return entry
+    return {"seconds": float(entry), "host": "unknown", "timestamp": None}
+
+
+def trajectory_trend(runs) -> None:
+    """Print the trajectory, comparing only adjacent same-host entries.
+
+    A wall-clock ratio is meaningful only between two runs on the same
+    machine; across a host switch (or against a legacy entry with no
+    recorded host) it measures the hardware, not the code, so those
+    adjacencies print a warning instead of a speedup.
+    """
+    prev = None
+    for entry in runs:
+        seconds = trajectory_seconds(entry)
+        host = trajectory_host(entry)
+        core = entry.get("core", "fast") if isinstance(entry, dict) else "fast"
+        line = f"perf trajectory: {seconds:7.1f}s  [{host}] core={core}"
+        if prev is not None:
+            prev_seconds, prev_host = prev
+            if host != "unknown" and host == prev_host:
+                ratio = prev_seconds / seconds if seconds else float("inf")
+                line += f"  {ratio:.2f}x vs previous"
+            else:
+                line += (f"  (host switch from [{prev_host}] — "
+                         "not comparable)")
+        print(line)
+        prev = (seconds, host)
+
+
+def record_trajectory(elapsed: float, core: str) -> None:
     """Append one suite timing to the perf trajectory file.
 
-    Each new entry records the host it was measured on and an ISO-8601
-    UTC timestamp — bare seconds spanning different machines made the
-    trajectory misleading.  Older float-only entries are left as-is.
+    Each new entry records the host it was measured on, an ISO-8601 UTC
+    timestamp and the execution core the suite ran with — bare seconds
+    spanning different machines made the trajectory misleading.  Legacy
+    float-only entries are migrated to records on the way through.
     """
     if TRAJECTORY.exists():
         doc = json.loads(TRAJECTORY.read_text())
     else:
-        doc = {
-            "description": "Fig. 11 benchmark-suite wall-clock trajectory "
-                           "(appended by tools/perf_smoke.py --update, "
-                           "oldest first; entries before host/timestamp "
-                           "tracking are bare seconds)",
-            "runs": [],
-        }
+        doc = {"runs": []}
+    doc["description"] = (
+        "Fig. 11 benchmark-suite wall-clock trajectory (appended by "
+        "tools/perf_smoke.py --update, oldest first; entries migrated "
+        'from before host/timestamp tracking carry host "unknown")'
+    )
+    doc["runs"] = [normalized_entry(entry) for entry in doc["runs"]]
     doc["runs"].append({
         "seconds": round(elapsed, 1),
-        "host": platform.node() or "unknown",
+        "host": this_host(),
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
         ),
+        "core": core,
     })
     TRAJECTORY.write_text(json.dumps(doc, indent=2) + "\n")
 
 
-def run_suite() -> float:
-    command = [sys.executable, "-m", "pytest", "-q", str(REPO / "benchmarks" / "test_fig11_speedup.py")]
+def run_suite(core: str) -> float:
+    command = [
+        sys.executable, "-m", "pytest", "-q",
+        str(REPO / "benchmarks" / "test_fig11_speedup.py"),
+    ]
+    env = dict(os.environ)
+    env["REPRO_BENCH_CORE"] = core
     start = time.perf_counter()
-    result = subprocess.run(command, cwd=REPO)
+    result = subprocess.run(command, cwd=REPO, env=env)
     elapsed = time.perf_counter() - start
     if result.returncode != 0:
         print(f"perf smoke: benchmark suite FAILED (exit {result.returncode})")
@@ -86,24 +146,44 @@ def main() -> int:
     parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline with this run"
     )
+    parser.add_argument(
+        "--core",
+        default=os.environ.get("REPRO_BENCH_CORE", "fast"),
+        choices=("reference", "fast", "vector"),
+        help="execution core for the suite (default: fast, or REPRO_BENCH_CORE)",
+    )
     args = parser.parse_args()
 
     baseline = json.loads(BASELINE.read_text())
-    elapsed = run_suite()
+    elapsed = run_suite(args.core)
     limit = baseline["seconds"] * (1.0 + baseline["max_regression"])
     print(
-        f"perf smoke: {elapsed:.1f}s "
+        f"perf smoke: {elapsed:.1f}s with core={args.core} "
         f"(baseline {baseline['seconds']:.1f}s, limit {limit:.1f}s)"
     )
 
+    if TRAJECTORY.exists():
+        trajectory_trend(json.loads(TRAJECTORY.read_text())["runs"])
+
     if args.update:
         baseline["seconds"] = round(elapsed, 1)
+        baseline["host"] = this_host()
+        baseline["core"] = args.core
         BASELINE.write_text(json.dumps(baseline, indent=2) + "\n")
-        record_trajectory(elapsed)
+        record_trajectory(elapsed, args.core)
         print(f"perf smoke: baseline updated to {baseline['seconds']}s "
               f"(appended to {TRAJECTORY.name})")
         return 0
 
+    baseline_host = baseline.get("host")
+    if baseline_host != this_host():
+        print(
+            f"perf smoke: WARNING — baseline was measured on "
+            f"[{baseline_host or 'unknown'}] but this is [{this_host()}]; "
+            "wall-clock gate skipped.  Run tools/perf_smoke.py --update "
+            "to re-anchor the baseline on this host."
+        )
+        return 0
     if elapsed > limit:
         print(
             f"perf smoke: REGRESSION — exceeded the baseline by "

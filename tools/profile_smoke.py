@@ -13,6 +13,12 @@ Two layers:
    the profiler's opcode issue / active-lane totals equal the
    simulation's ``SimStats`` counters *exactly* — the profiler must
    observe every issued instruction, fused or not.
+3. **Vector core**: repeats the in-process check with
+   ``GPUConfig.core="vector"`` and additionally requires that the
+   profiler observed at least one batched group (``group_instructions
+   > 0``) — i.e. the totals stay exact even when whole instruction
+   regions are folded in via :meth:`on_group` rather than observed
+   per-issue.
 
 Exits non-zero on any mismatch.  Used by the CI ``profile-smoke`` step.
 """
@@ -86,15 +92,22 @@ def check_cli_report() -> None:
         )
 
 
-def check_against_simstats() -> None:
+def check_against_simstats(core=None) -> None:
+    import dataclasses
+
+    from repro.config import GPUConfig
     from repro.harness.runner import run_benchmark
     from repro.runtime.modes import ExecutionMode
     from repro.sim import profiler as profiler_mod
 
+    config = None
+    if core is not None:
+        config = dataclasses.replace(GPUConfig.k20c(), core=core)
+    label = f"SimStats match ({core or 'default'} core)"
     prof = profiler_mod.activate()
     try:
         run = run_benchmark(
-            BENCH, ExecutionMode(MODE), scale=SCALE,
+            BENCH, ExecutionMode(MODE), scale=SCALE, config=config,
             use_cache=False, cache=None,
         )
     finally:
@@ -102,24 +115,33 @@ def check_against_simstats() -> None:
     stats = run.stats
     if prof.total_issues != stats.issued_instructions:
         fail(
-            f"profiler saw {prof.total_issues} issues, SimStats counted "
-            f"{stats.issued_instructions}"
+            f"{label}: profiler saw {prof.total_issues} issues, SimStats "
+            f"counted {stats.issued_instructions}"
         )
     if prof.total_lanes != stats.active_lane_sum:
         fail(
-            f"profiler saw {prof.total_lanes} active lanes, SimStats "
-            f"counted {stats.active_lane_sum}"
+            f"{label}: profiler saw {prof.total_lanes} active lanes, "
+            f"SimStats counted {stats.active_lane_sum}"
         )
+    if core == "vector" and prof.group_instructions <= 0:
+        fail(
+            "vector core profiled without observing a single batched "
+            "group — group dispatch never engaged"
+        )
+    extra = ""
+    if core == "vector":
+        extra = f", {prof.group_instructions:,} grouped"
     print(
-        f"profile smoke: SimStats match OK "
+        f"profile smoke: {label} OK "
         f"({stats.issued_instructions:,} issues, "
-        f"{stats.active_lane_sum:,} lanes)"
+        f"{stats.active_lane_sum:,} lanes{extra})"
     )
 
 
 def main() -> int:
     check_cli_report()
     check_against_simstats()
+    check_against_simstats(core="vector")
     print("profile smoke: PASS")
     return 0
 
