@@ -2,6 +2,7 @@
 
 from .modes import ExecutionMode
 from .host_api import Device, DeviceArray, Event, Stream
+from .persistent import PersistentRuntime, PersistentRuntimeError
 from .sugar import HostKernel, bind
 
 __all__ = [
@@ -10,6 +11,8 @@ __all__ = [
     "Event",
     "ExecutionMode",
     "HostKernel",
+    "PersistentRuntime",
+    "PersistentRuntimeError",
     "Stream",
     "bind",
 ]

@@ -239,6 +239,7 @@ class Device:
             memory_words=memory_words,
         )
         self._named_events: dict = {}
+        self._launch_interceptor = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -404,10 +405,27 @@ class Device:
         return value) and adds ``.wait()`` / ``.elapsed_cycles()``.
         """
         self._check_open()
+        if self._launch_interceptor is not None:
+            handled = self._launch_interceptor(
+                kernel_name, grid, block, params, operator.index(stream)
+            )
+            if handled is not None:
+                return handled
         spec = self.gpu.host_launch(
             kernel_name, grid, block, params, operator.index(stream)
         )
         return Event(self, spec)
+
+    def install_launch_interceptor(self, interceptor) -> None:
+        """Route host launches through ``interceptor`` first.
+
+        ``interceptor(kernel_name, grid, block, params, stream)`` either
+        returns an :class:`Event` (the launch was handled — e.g. the
+        persistent runtime turned it into task-queue records plus a
+        worker launch) or ``None`` to fall through to the normal path.
+        Pass ``None`` to uninstall.
+        """
+        self._launch_interceptor = interceptor
 
     def synchronize(
         self, max_cycles: Optional[int] = DEFAULT_MAX_CYCLES
@@ -514,7 +532,7 @@ def _validate_mode_latency(
     if mode.is_dynamic and not mode.ideal and latency == ideal_model:
         hint = (
             f"; use mode {mode.value + 'i'!r} for the ideal configuration"
-            if not mode.compiler_optimized
+            if not (mode.compiler_optimized or mode.persistent)
             else ""
         )
         raise ConfigError(

@@ -14,10 +14,17 @@
 * ``CONSOLIDATED`` — CDP rewritten so per-thread child work is
   consolidated into fewer, densely packed kernels (Wu & Becchi,
   *Compiler-Assisted Workload Consolidation*).
+* ``PERSISTENT`` / ``PERSISTENT_ASYNC`` — no device launches at all: a
+  fixed grid of resident worker blocks pulls block-tasks from a global
+  MPMC queue (Atos / persistent-threads).  Launch sites become queue
+  pushes via the :mod:`repro.isa.persist` rewrite; the sync variant
+  claims published tickets with a CAS, the async variant takes
+  optimistic tickets and recovers dead ones at quiescence.
 
 The software-optimized modes run on the plain CDP device runtime — the
 transformation happens entirely in the IR, so they use the measured CDP
-launch latencies.
+launch latencies.  The persistent modes run no dynamic launches but keep
+the measured latency model for their one host launch per drain.
 """
 
 from __future__ import annotations
@@ -36,19 +43,25 @@ class ExecutionMode(enum.Enum):
     DTBL_IDEAL = "dtbli"
     CDP_AGG = "cdpa"
     CONSOLIDATED = "cons"
+    PERSISTENT = "persistent"
+    PERSISTENT_ASYNC = "persistent-async"
 
     @property
     def uses_cdp(self) -> bool:
         """True when kernels are built with CDP-style device launches.
 
         The compiler-optimized modes start from the same CDP kernel shape
-        (the dynopt passes rewrite it afterwards), so they count here.
+        (the dynopt passes rewrite it afterwards), so they count here —
+        and so do the persistent modes, whose runtime rewrites the same
+        launch sites into task-queue pushes.
         """
         return self in (
             ExecutionMode.CDP,
             ExecutionMode.CDP_IDEAL,
             ExecutionMode.CDP_AGG,
             ExecutionMode.CONSOLIDATED,
+            ExecutionMode.PERSISTENT,
+            ExecutionMode.PERSISTENT_ASYNC,
         )
 
     @property
@@ -59,6 +72,14 @@ class ExecutionMode(enum.Enum):
     def compiler_optimized(self) -> bool:
         """True for modes produced by the :mod:`repro.isa.dynopt` passes."""
         return self in (ExecutionMode.CDP_AGG, ExecutionMode.CONSOLIDATED)
+
+    @property
+    def persistent(self) -> bool:
+        """True for the resident-worker task-queue modes (Atos)."""
+        return self in (
+            ExecutionMode.PERSISTENT,
+            ExecutionMode.PERSISTENT_ASYNC,
+        )
 
     @property
     def is_dynamic(self) -> bool:
@@ -107,7 +128,8 @@ class ExecutionMode(enum.Enum):
         """Canonical mode order for comparison grids and figures.
 
         Baseline first, then the paper's modes ideal-to-measured, then the
-        compiler-optimized rivals — the order the Fig. 11 columns use.
+        compiler-optimized rivals, then the persistent-threads rivals —
+        the order the Fig. 11 columns use.
         """
         return (
             cls.FLAT,
@@ -117,4 +139,6 @@ class ExecutionMode(enum.Enum):
             cls.DTBL,
             cls.CDP_AGG,
             cls.CONSOLIDATED,
+            cls.PERSISTENT,
+            cls.PERSISTENT_ASYNC,
         )

@@ -227,6 +227,19 @@ class Workload(abc.ABC):
             from ..isa.dynopt import transform_kernels
 
             kernels = transform_kernels(kernels, self.mode)
+        persistent_runtime = None
+        if self.mode.persistent:
+            # PERSISTENT / PERSISTENT_ASYNC: rewrite the CDP launch
+            # sites into task-queue pushes and intercept host launches
+            # with a resident worker grid (see repro.runtime.persistent).
+            from ..runtime.modes import ExecutionMode
+            from ..runtime.persistent import PersistentRuntime
+
+            persistent_runtime = PersistentRuntime(
+                device,
+                async_=self.mode is ExecutionMode.PERSISTENT_ASYNC,
+            )
+            kernels = persistent_runtime.transform(kernels)
         for func in kernels:
             if optimize_kernels:
                 from ..isa.optimizer import optimized_copy
@@ -266,6 +279,8 @@ class Workload(abc.ABC):
                 quarantine_checkpoint(checkpoint_path)
         self.run(device)
         device.synchronize(max_cycles=max_cycles)
+        if persistent_runtime is not None:
+            persistent_runtime.verify_drained()
         if (checkpoint_every or resume) and checkpoint_path is not None:
             try:
                 os.unlink(checkpoint_path)

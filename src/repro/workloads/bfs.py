@@ -168,9 +168,10 @@ class BfsWorkload(Workload):
         if self.expansion == "warp":
             return [build_bfs_warp_kernel()]
         if self.expansion == "persistent":
-            from .persistent import build_bfs_persistent_kernel
-
-            return [build_bfs_persistent_kernel()]
+            # The worklist kernel bakes the queue descriptor's address
+            # into its IR, so it is built (and registered) lazily by
+            # ``_run_persistent`` once ``setup`` has allocated the queue.
+            return []
         kernels = [build_bfs_kernel(self.mode, self.child_threshold, self.child_block)]
         if self.mode.is_dynamic:
             kernels.append(build_bfs_child(self.child_block))
@@ -184,9 +185,14 @@ class BfsWorkload(Workload):
         dist0[self.source] = 0
         self.dist_addr = device.upload(dist0)
         if self.expansion == "persistent":
+            import dataclasses
+
+            from ..isa.taskqueue import QueueLayout
+
             self.inflag_addr = device.upload(np.zeros(n, dtype=np.int64))
-            self.worklist_addr = device.alloc(max(4 * n, 1024))
-            self.counters_addr = device.alloc(4)  # R, P, C, F
+            shape = QueueLayout(0, max(4 * n, 1024), record_words=1)
+            base = int(device.upload(shape.init_image()))
+            self.queue = dataclasses.replace(shape, base=base)
             return
         self.frontier_a = device.alloc(n + 1)
         self.frontier_b = device.alloc(n + 1)
@@ -195,13 +201,20 @@ class BfsWorkload(Workload):
 
     def _run_persistent(self, device: Device) -> None:
         """Single launch of resident workers over the software worklist."""
-        counters = self.counters_addr
-        device.write_int(self.worklist_addr, self.source)
+        from ..isa.taskqueue import OFF_PUBLISHED, OFF_RESERVED
+        from .persistent import build_bfs_persistent_kernel
+
+        queue = self.queue
+        device.register(build_bfs_persistent_kernel(queue))
+        # Publish the source vertex from the host: payload, then the
+        # slot's sequence word, then the counters (the device is idle,
+        # so these are ordinary host initialization).
+        slot = queue.slot(0)
+        device.write_int(slot + 1, self.source)
+        device.write_int(slot, 1)  # sequence: ticket 0 published
+        device.write_int(queue.field(OFF_RESERVED), 1)
+        device.write_int(queue.field(OFF_PUBLISHED), 1)
         device.write_int(self.inflag_addr + self.source, 1)
-        device.write_int(counters + 0, 1)  # R: slot 0 reserved
-        device.write_int(counters + 1, 1)  # P: source published
-        device.write_int(counters + 2, 0)  # C
-        device.write_int(counters + 3, 0)  # F
         # Enough resident workers to fill a good share of the machine
         # without drowning the worklist in spinners.
         device.launch(
@@ -213,11 +226,6 @@ class BfsWorkload(Workload):
                 self.dgraph.indices,
                 self.dist_addr,
                 self.inflag_addr,
-                self.worklist_addr,
-                counters + 0,
-                counters + 1,
-                counters + 2,
-                counters + 3,
             ],
         )
         device.synchronize()

@@ -5,66 +5,72 @@ keep them resident for the kernel's lifetime, pulling dynamically
 generated tasks from a globally visible software worklist — the software
 alternative to DTBL's hardware-managed thread-block launching.
 
-This implementation is an asynchronous single-kernel BFS:
+This implementation is an asynchronous single-kernel BFS built on the
+shared MPMC queue primitives in :mod:`repro.isa.taskqueue` (the same
+ring the ``persistent`` / ``persistent-async`` execution modes use for
+block-tasks, here with one-word vertex records and per-thread claims):
 
-* the worklist is a global array with counters ``R`` (reserved publish
-  slots), ``P`` (published items), ``C`` (claim tickets) and ``F``
-  (finished items).  A producer reserves a slot with ``atom_add(R)``,
-  stores the vertex, then publishes with ``atom_add(P)``; program order
-  makes the item visible before the publish count covers it.
-* each persistent thread loops: check quiescence, otherwise claim a
-  ticket with ``atom_add(C)`` and wait until the ticket's item appears.
+* a producer reserves a ticket, waits on the slot sequence, stores the
+  vertex and publishes (``emit_enqueue``); the per-slot sequence word —
+  not the global publish count — is what orders the payload against a
+  claim, because concurrent producers publish out of ticket order.
+* each persistent thread loops :func:`~repro.isa.taskqueue
+  .emit_dequeue_async`: an optimistic ticket claim, a spin on the slot
+  sequence, and dead-ticket recovery once the queue quiesces.
 * relaxation is *monotone* (``atom_min`` plus a queued-flag claim, the
   asynchronous Bellman-Ford formulation): out-of-order processing may
   improve a distance repeatedly, re-enqueueing the vertex, and converges
   to exact BFS hop counts.  A CAS-once visit (as in the level-synchronous
   variants) would lock in wrong distances under asynchrony.
-* quiescence = ``F == P`` **with F read first**: any in-flight item is
-  already counted by the later P read while its F increment cannot yet
-  be visible to the earlier F read, so a stale-P race can never declare
-  termination early.
+* quiescence = ``FINISHED == PUBLISHED`` **with FINISHED read first**:
+  any in-flight item is already counted by the later publish read while
+  its finish increment cannot yet be visible to the earlier read, so a
+  stale-publish race can never declare termination early.
 
-Exposed through ``BfsWorkload(expansion="persistent")`` (FLAT mode only)
-and compared against DTBL in ``benchmarks/test_ablation_persistent.py``.
+The queue descriptor is allocated by the workload's ``setup`` and its
+address baked into the kernel as immediates, so the kernel is built (and
+registered) lazily by ``BfsWorkload._run_persistent`` rather than from
+``build_kernels``.  Exposed through ``BfsWorkload(expansion=
+"persistent")`` (FLAT mode only) and compared against DTBL in
+``benchmarks/test_ablation_persistent.py``.
 """
 
 from __future__ import annotations
 
 from ..isa.builder import KernelBuilder
+from ..isa.taskqueue import (
+    OFF_FINISHED,
+    QueueLayout,
+    emit_dequeue_async,
+    emit_enqueue,
+)
 from ..sim.kernel import KernelFunction
 
-#: Parameter layout (word offsets).
-PARAMS = dict(
-    INDPTR=0, INDICES=1, DIST=2, INFLAG=3, WORKLIST=4, R=5, P=6, C=7, F=8,
-)
+#: Parameter layout (word offsets).  The worklist lives in the queue
+#: descriptor whose address is baked into the kernel, not passed here.
+PARAMS = dict(INDPTR=0, INDICES=1, DIST=2, INFLAG=3)
 
 
-def build_bfs_persistent_kernel() -> KernelFunction:
+def build_bfs_persistent_kernel(queue: QueueLayout) -> KernelFunction:
     """One persistent thread per worker; workers loop until quiescence."""
+    if queue.record_words != 1:
+        raise ValueError("the persistent BFS worklist holds 1-word records")
     k = KernelBuilder("bfs_persistent")
     param = k.param()
     indptr = k.ld(param, offset=PARAMS["INDPTR"])
     indices = k.ld(param, offset=PARAMS["INDICES"])
     dist = k.ld(param, offset=PARAMS["DIST"])
     inflag = k.ld(param, offset=PARAMS["INFLAG"])
-    worklist = k.ld(param, offset=PARAMS["WORKLIST"])
-    r_ctr = k.ld(param, offset=PARAMS["R"])
-    p_ctr = k.ld(param, offset=PARAMS["P"])
-    c_ctr = k.ld(param, offset=PARAMS["C"])
-    f_ctr = k.ld(param, offset=PARAMS["F"])
 
     def emit_relax(u, next_dist) -> None:
         old = k.atom_min(k.iadd(dist, u), next_dist)
         with k.if_(k.lt(next_dist, old)):
             claimed = k.atom_cas(k.iadd(inflag, u), 0, 1)
             with k.if_(k.eq(claimed, 0)):
-                slot = k.atom_add(r_ctr, 1)
-                k.st(k.iadd(worklist, slot), u)
-                k.atom_add(p_ctr, 1)
+                emit_enqueue(k, queue, [u])
 
-    def emit_process(ticket, waiting) -> None:
-        k.mov(0, dst=waiting)
-        v = k.ld(k.iadd(worklist, ticket))
+    def process(fields, ticket) -> None:
+        v = fields[0]
         k.st(k.iadd(inflag, v), 0)  # v may be re-enqueued on improvement
         vptr = k.iadd(indptr, v)
         start = k.ld(vptr)
@@ -74,34 +80,12 @@ def build_bfs_persistent_kernel() -> KernelFunction:
         with k.for_range(start, end) as e:
             u = k.ld(k.iadd(indices, e))
             emit_relax(u, next_dist)
-        k.atom_add(f_ctr, 1)
+        k.atom_add(queue.field(OFF_FINISHED), 1)
 
     running = k.mov(1)
     with k.while_(lambda: k.ne(running, 0)):
-        finished = k.ld(f_ctr)       # F first —
-        published = k.ld(p_ctr)      # — then P (termination-race-free)
-        quiescent = k.eq(finished, published)
-
-        def claim() -> None:
-            ticket = k.atom_add(c_ctr, 1)
-            waiting = k.mov(1)
-            with k.while_(lambda: k.ne(waiting, 0)):
-                pub_now = k.ld(p_ctr)
-                ready = k.lt(ticket, pub_now)
-
-                def spin_or_exit() -> None:
-                    fin_now = k.ld(f_ctr)
-                    pub_again = k.ld(p_ctr)
-                    dead_ticket = k.iand(
-                        k.eq(fin_now, pub_again), k.ge(ticket, pub_again)
-                    )
-                    with k.if_(dead_ticket):
-                        # This ticket can never be filled; stop waiting
-                        # (the outer loop will observe quiescence).
-                        k.mov(0, dst=waiting)
-
-                k.if_else(ready, lambda: emit_process(ticket, waiting), spin_or_exit)
-
-        k.if_else(quiescent, lambda: k.mov(0, dst=running), claim)
+        regs = emit_dequeue_async(k, queue, process)
+        with k.if_(k.iand(k.eq(regs.got, 0), regs.quiescent)):
+            k.mov(0, dst=running)
     k.exit()
     return KernelFunction("bfs_persistent", k.build())

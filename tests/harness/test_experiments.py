@@ -66,6 +66,7 @@ class TestGridFigures:
         ]
         assert exp.headers == [
             "benchmark", "CDPI", "DTBLI", "CDP", "DTBL", "CDPA", "CONS",
+            "PERSISTENT", "PERSISTENT-ASYNC",
         ]
         for row in exp.rows:
             assert all(value > 0 for value in row[1:])

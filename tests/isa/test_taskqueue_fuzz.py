@@ -1,0 +1,335 @@
+"""Differential fuzz for the device-side task-queue primitives.
+
+Hypothesis drives the :mod:`repro.isa.taskqueue` emitters against a
+pure-Python bounded-FIFO reference model:
+
+* a single-threaded schedule of ``try_enqueue`` / ``dequeue`` ops must
+  match the model *exactly* — FIFO order, per-op hit/miss and drop
+  outcomes, and every descriptor counter — including overflow (drops at
+  capacity), underflow (misses on empty) and ring wraparound (capacities
+  far smaller than the op count);
+* concurrent producer/consumer grids must conserve the payload multiset
+  (everything enqueued is consumed exactly once) and leave the counters
+  in the drained fixpoint, for both the synchronous CAS-claim dequeue
+  and the asynchronous optimistic-ticket dequeue;
+* a cross-block producer/consumer pair with a tiny ring proves the
+  bounded queue applies backpressure (the producer blocks on the slot
+  sequence until the consumer releases it) instead of corrupting slots.
+
+Everything runs with the sanitizer enabled and must come back clean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import Device, ExecutionMode, GPUConfig, KernelBuilder, KernelFunction
+from repro.isa.taskqueue import (
+    OFF_CLAIMED,
+    OFF_DROPPED,
+    OFF_FINISHED,
+    OFF_HIGH_WATER,
+    OFF_PUBLISHED,
+    OFF_RESERVED,
+    QueueLayout,
+    emit_dequeue_async,
+    emit_dequeue_sync,
+    emit_enqueue,
+    emit_try_enqueue,
+)
+
+
+def _device(fast: bool = True) -> Device:
+    config = dataclasses.replace(
+        GPUConfig.k20c(), core=("fast" if fast else "reference")
+    )
+    return Device(config=config, mode=ExecutionMode.FLAT, sanitize=True)
+
+
+def _make_queue(dev: Device, capacity: int, record_words: int = 1) -> QueueLayout:
+    shape = QueueLayout(0, capacity, record_words)
+    base = int(dev.upload(shape.init_image()))
+    return dataclasses.replace(shape, base=base)
+
+
+def _counters(dev: Device, q: QueueLayout) -> dict:
+    return {
+        "reserved": dev.read_int(q.field(OFF_RESERVED)),
+        "published": dev.read_int(q.field(OFF_PUBLISHED)),
+        "claimed": dev.read_int(q.field(OFF_CLAIMED)),
+        "finished": dev.read_int(q.field(OFF_FINISHED)),
+        "high_water": dev.read_int(q.field(OFF_HIGH_WATER)),
+        "dropped": dev.read_int(q.field(OFF_DROPPED)),
+    }
+
+
+def _finish(k: KernelBuilder, q: QueueLayout) -> None:
+    k.atom_add(q.field(OFF_FINISHED), 1)
+
+
+# ----------------------------------------------------------------------
+# Pure-Python reference model
+# ----------------------------------------------------------------------
+class ModelQueue:
+    """Bounded FIFO mirroring the descriptor-counter semantics."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.items: list = []
+        self.accepted = 0  # RESERVED == PUBLISHED (serial execution)
+        self.consumed = 0  # CLAIMED == FINISHED
+        self.dropped = 0
+        self.high_water = 0
+
+    def try_enqueue(self, value: int) -> int:
+        if self.accepted - self.consumed >= self.capacity:
+            self.dropped += 1
+            return 0
+        self.items.append(value)
+        self.accepted += 1
+        self.high_water = max(self.high_water, self.accepted - self.consumed)
+        return 1
+
+    def dequeue(self):
+        if not self.items:
+            return 0, -1
+        self.consumed += 1
+        return 1, self.items.pop(0)
+
+
+# ----------------------------------------------------------------------
+# Single-thread schedules: exact FIFO equality with the model
+# ----------------------------------------------------------------------
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("e"), st.integers(1, 10_000)),
+        st.tuples(st.just("d"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _build_schedule_kernel(q: QueueLayout, ops, out: int) -> KernelFunction:
+    """One thread runs the drawn schedule; op ``i`` records (flag, value)
+    at ``out + 2 * i``."""
+    k = KernelBuilder("tq_schedule")
+    for i, (op, value) in enumerate(ops):
+        cell = out + 2 * i
+        if op == "e":
+            ok = emit_try_enqueue(k, q, [value])
+            k.st(cell, ok)
+            k.st(cell, value, offset=1)
+        else:
+
+            def on_item(fields, ticket, cell=cell):
+                k.st(cell, 1)
+                k.st(cell, fields[0], offset=1)
+                _finish(k, q)
+
+            def on_miss(cell=cell):
+                k.st(cell, 0)
+                k.st(cell, -1, offset=1)
+
+            emit_dequeue_sync(k, q, on_item, on_miss)
+    k.exit()
+    return KernelFunction("tq_schedule", k.build())
+
+
+class TestScheduleDifferential:
+    @settings(max_examples=15, deadline=None)
+    @given(ops=_OPS, capacity=st.integers(1, 4))
+    def test_schedule_matches_model(self, ops, capacity):
+        # Tiny capacities against up-to-24-op schedules force overflow
+        # drops, underflow misses and multiple ring wraparounds.
+        model = ModelQueue(capacity)
+        expected = []
+        for op, value in ops:
+            if op == "e":
+                expected.append((model.try_enqueue(value), value))
+            else:
+                expected.append(model.dequeue())
+
+        dev = _device()
+        q = _make_queue(dev, capacity)
+        out = dev.alloc(2 * len(ops))
+        dev.register(_build_schedule_kernel(q, ops, out.addr))
+        dev.launch("tq_schedule", grid=1, block=1)
+        dev.synchronize()
+
+        got = dev.download_ints(out.addr, 2 * len(ops))
+        np.testing.assert_array_equal(
+            got, np.array(expected, dtype=np.int64).reshape(-1)
+        )
+        c = _counters(dev, q)
+        assert c["reserved"] == c["published"] == model.accepted
+        assert c["claimed"] == c["finished"] == model.consumed
+        assert c["dropped"] == model.dropped
+        assert c["high_water"] == model.high_water <= capacity
+        assert dev.sanitizer_report().clean, dev.sanitizer_report().format()
+
+    def test_pinned_schedule_identical_on_both_cores(self):
+        ops = [("e", 7), ("e", 9), ("d", 0), ("e", 11), ("d", 0), ("d", 0), ("d", 0)]
+        results = []
+        for fast in (True, False):
+            dev = _device(fast)
+            q = _make_queue(dev, 2)
+            out = dev.alloc(2 * len(ops))
+            dev.register(_build_schedule_kernel(q, ops, out.addr))
+            dev.launch("tq_schedule", grid=1, block=1)
+            dev.synchronize()
+            assert dev.sanitizer_report().clean
+            results.append(
+                (list(dev.download_ints(out.addr, 2 * len(ops))), _counters(dev, q))
+            )
+        assert results[0] == results[1]
+
+
+# ----------------------------------------------------------------------
+# Concurrent grids: multiset conservation
+# ----------------------------------------------------------------------
+def _build_producer(q: QueueLayout, items: int) -> KernelFunction:
+    """Every thread publishes ``items`` two-word records tagged by gtid."""
+    k = KernelBuilder("tq_produce")
+    gtid = k.gtid()
+    with k.for_range(0, items) as j:
+        value = k.iadd(k.imul(gtid, 100), j)
+        emit_enqueue(k, q, [value, k.imul(value, 7)])
+    k.exit()
+    return KernelFunction("tq_produce", k.build())
+
+
+def _build_consumer_sync(q: QueueLayout, out: int) -> KernelFunction:
+    """Threads drain the queue; ticket-indexed stores need no coordination."""
+    k = KernelBuilder("tq_consume")
+    keep = k.mov(1)
+    with k.while_(lambda: k.ne(keep, 0)):
+
+        def on_item(fields, ticket):
+            k.st(k.iadd(out, k.imul(ticket, 2)), fields[0])
+            k.st(k.iadd(out, k.imul(ticket, 2)), fields[1], offset=1)
+            _finish(k, q)
+
+        def on_miss():
+            k.mov(0, dst=keep)
+
+        emit_dequeue_sync(k, q, on_item, on_miss)
+    k.exit()
+    return KernelFunction("tq_consume", k.build())
+
+
+def _build_consumer_async(q: QueueLayout, out: int) -> KernelFunction:
+    """Async drain: optimistic tickets, dead-ticket abandon at quiescence."""
+    k = KernelBuilder("tq_consume_async")
+    keep = k.mov(1)
+    with k.while_(lambda: k.ne(keep, 0)):
+
+        def on_item(fields, ticket):
+            k.st(k.iadd(out, k.imul(ticket, 2)), fields[0])
+            k.st(k.iadd(out, k.imul(ticket, 2)), fields[1], offset=1)
+            _finish(k, q)
+
+        def on_dead():
+            k.mov(0, dst=keep)
+
+        regs = emit_dequeue_async(k, q, on_item, on_dead)
+        with k.if_(k.iand(k.eq(regs.got, 0), regs.quiescent)):
+            k.mov(0, dst=keep)
+    k.exit()
+    return KernelFunction("tq_consume_async", k.build())
+
+
+class TestConcurrentConservation:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        blocks=st.integers(1, 3),
+        threads=st.integers(1, 8),
+        items=st.integers(0, 4),
+        async_=st.booleans(),
+    )
+    def test_consumed_multiset_equals_enqueued(
+        self, blocks, threads, items, async_
+    ):
+        total = blocks * threads * items
+        dev = _device()
+        q = _make_queue(dev, max(total, 1), record_words=2)
+        out = dev.alloc(max(2 * total, 1))
+        dev.register(_build_producer(q, items))
+        builder = _build_consumer_async if async_ else _build_consumer_sync
+        dev.register(builder(q, out.addr))
+        dev.launch("tq_produce", grid=blocks, block=threads)
+        dev.synchronize()
+        name = "tq_consume_async" if async_ else "tq_consume"
+        dev.launch(name, grid=blocks, block=threads)
+        dev.synchronize()
+
+        expected = sorted(
+            (g * 100 + j, (g * 100 + j) * 7)
+            for g in range(blocks * threads)
+            for j in range(items)
+        )
+        got = dev.download_ints(out.addr, 2 * total) if total else []
+        assert sorted(zip(got[0::2], got[1::2])) == expected
+        c = _counters(dev, q)
+        assert c["reserved"] == c["published"] == c["finished"] == total
+        if async_:
+            # Optimistic claims may overshoot, one dead ticket per
+            # consumer thread at most.
+            assert total <= c["claimed"] <= total + blocks * threads
+        else:
+            assert c["claimed"] == total
+        assert c["dropped"] == 0
+        assert c["high_water"] <= q.capacity
+        assert dev.sanitizer_report().clean, dev.sanitizer_report().format()
+
+
+# ----------------------------------------------------------------------
+# Backpressure and wraparound across blocks
+# ----------------------------------------------------------------------
+def _build_pc_pair(q: QueueLayout, n: int, out: int) -> KernelFunction:
+    """Block 0 produces ``n`` items through a tiny ring; block 1 consumes
+    exactly ``n``, so the producer must block on slot release."""
+    k = KernelBuilder("tq_pc_pair")
+    ctaid = k.ctaid()
+
+    def produce() -> None:
+        with k.for_range(0, n) as j:
+            emit_enqueue(k, q, [k.iadd(j, 1000)])
+
+    def consume() -> None:
+        done = k.mov(0)
+        with k.while_(lambda: k.lt(done, n)):
+
+            def on_item(fields, ticket):
+                k.st(k.iadd(out, ticket), fields[0])
+                _finish(k, q)
+                k.iadd(done, 1, dst=done)
+
+            emit_dequeue_sync(k, q, on_item)
+
+    k.if_else(k.eq(ctaid, 0), produce, consume)
+    k.exit()
+    return KernelFunction("tq_pc_pair", k.build())
+
+
+class TestBackpressureWraparound:
+    def test_tiny_ring_backpressures_producer(self):
+        # 10 records through a 2-slot ring: the ring wraps five times and
+        # the producer can only ever be two tickets ahead of the consumer.
+        n, capacity = 10, 2
+        dev = _device()
+        q = _make_queue(dev, capacity)
+        out = dev.alloc(n)
+        dev.register(_build_pc_pair(q, n, out.addr))
+        dev.launch("tq_pc_pair", grid=2, block=1)
+        dev.synchronize()
+        np.testing.assert_array_equal(
+            dev.download_ints(out.addr, n), np.arange(n) + 1000
+        )
+        c = _counters(dev, q)
+        assert c["reserved"] == c["published"] == c["finished"] == n
+        assert c["high_water"] <= capacity
+        assert dev.sanitizer_report().clean, dev.sanitizer_report().format()

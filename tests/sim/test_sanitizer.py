@@ -377,3 +377,164 @@ class TestReportingAPI:
             return dev.read_int(buf.addr), stats.cycles
 
         assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
+# Task-queue protocol defects (repro.isa.taskqueue)
+# ----------------------------------------------------------------------
+class TestTaskQueueDefects:
+    """The queue's ordering protocol is load-bearing: each seeded defect
+    knob removes one ordering and must produce sanitizer findings, while
+    the clean protocol stays silent (see tests/isa/test_taskqueue_fuzz.py
+    for the functional differential)."""
+
+    @staticmethod
+    def _queue(dev, capacity, uploaded=True):
+        import repro.isa.taskqueue as tq
+
+        shape = tq.QueueLayout(0, capacity, 1)
+        if uploaded:
+            return dataclasses.replace(
+                shape, base=int(dev.upload(shape.init_image()))
+            )
+        # Sparse init: header and sequence words only, so the ring's
+        # payload words stay uninitialized in the sanitizer's shadow.
+        arr = dev.alloc(shape.total_words)
+        q = dataclasses.replace(shape, base=arr.addr)
+        for off in range(tq.HEADER_WORDS):
+            dev.write_int(q.field(off), capacity if off == tq.OFF_CAPACITY else 0)
+        for i in range(capacity):
+            dev.write_int(q.slot(i), i)
+        return q
+
+    def test_plain_reserve_is_a_data_race(self):
+        # Non-atomic ticket reservation: two blocks read the same ticket
+        # and collide on the reservation word and one slot's payload.
+        from repro.isa.taskqueue import emit_enqueue
+
+        def scenario(dev):
+            q = self._queue(dev, 4)
+            k = KernelBuilder("tq_plain_reserve")
+            emit_enqueue(k, q, [k.iadd(k.ctaid(), 500)], defect="plain-reserve")
+            _launch(dev, KernelFunction("tq_plain_reserve", k.build()),
+                    grid=2, block=1)
+
+        report = run_both(scenario)
+        assert report.counts.get("data-race", 0) > 0
+
+    # Note on the third defect knob, ``publish-before-store``: it swaps
+    # the payload store past the sequence publish, which on real
+    # hardware (store buffers, relaxed ordering) is the classic dropped
+    # release fence.  The simulated cores are in-order and the late
+    # store retires a couple of cycles after the publish — always before
+    # any consumer's dependent load can arrive through the memory
+    # latency model — so neither the sanitizer nor the functional
+    # differential can observe it in-sim.  The knob stays for
+    # documentation; the observable per-primitive defects are covered
+    # below (enqueue: plain-reserve, dequeue: skip-empty-check).
+
+    def test_runtime_plain_reserve_defect_is_caught(self):
+        # The full equivalence net — watchdog, drain invariants,
+        # sanitizer, output verify — must catch a seeded protocol defect
+        # when driven through the real PersistentRuntime on a
+        # child-launching workload, not just on a micro-kernel.  With a
+        # de-atomized reservation two workers can claim the same ticket,
+        # wedging the sequenced ring (watchdog) and racing on the slot
+        # payload (sanitizer); the deterministic simulator makes the
+        # outcome reproducible.
+        from repro.errors import ReproError
+        from repro.runtime.persistent import (
+            PersistentRuntime,
+            PersistentRuntimeError,
+        )
+        from repro.workloads import get_benchmark
+
+        wl = get_benchmark("bht", ExecutionMode.PERSISTENT, scale=0.05)
+        device = Device(
+            config=GPUConfig.k20c(),
+            mode=ExecutionMode.PERSISTENT,
+            sanitize=True,
+        )
+        runtime = PersistentRuntime(device, defect="plain-reserve")
+        kernels = runtime.transform(wl.build_kernels())
+        for func in kernels:
+            device.register(func)
+        wl.setup(device)
+        caught = []
+        try:
+            wl.run(device)
+            device.synchronize(max_cycles=2_000_000)
+            runtime.verify_drained()
+            wl.check(device)
+        except (ReproError, PersistentRuntimeError) as exc:
+            caught.append(type(exc).__name__)
+        if not device.sanitizer_report().clean:
+            caught.append(
+                f"sanitizer:{dict(device.sanitizer_report().counts)}"
+            )
+        assert caught, (
+            "plain-reserve escaped every net: no exception, drained "
+            "books, verified output, clean sanitizer"
+        )
+
+    def test_skip_empty_check_is_an_uninit_read(self):
+        # Claiming from an empty queue without the sequence wait reads a
+        # ring record no store ever wrote.
+        from repro.isa.taskqueue import emit_dequeue_sync
+
+        def scenario(dev):
+            q = self._queue(dev, 4, uploaded=False)
+            sink = dev.alloc(1)
+            k = KernelBuilder("tq_skip_empty")
+
+            def on_item(fields, ticket):
+                k.st(sink.addr, fields[0])
+
+            emit_dequeue_sync(k, q, on_item, defect="skip-empty-check")
+            k.exit()
+            _launch(dev, KernelFunction("tq_skip_empty", k.build()),
+                    grid=1, block=1)
+            scenario.payload_addr = q.slot(0) + 1
+
+        report = run_both(scenario)
+        assert report.counts.get("uninit-read", 0) > 0
+        assert any(f.address == scenario.payload_addr
+                   for f in report.by_kind("uninit-read"))
+
+    def test_clean_protocol_is_clean(self):
+        from repro.isa.taskqueue import OFF_FINISHED, emit_dequeue_sync, emit_enqueue
+
+        def scenario(dev):
+            q = self._queue(dev, 2)
+            out = dev.alloc(4)
+            k = KernelBuilder("tq_clean_pair")
+
+            def produce():
+                with k.for_range(0, 4) as j:
+                    emit_enqueue(k, q, [k.iadd(j, 900)])
+
+            def consume():
+                done = k.mov(0)
+                with k.while_(lambda: k.lt(done, 4)):
+                    def on_item(fields, ticket):
+                        k.st(k.iadd(out.addr, ticket), fields[0])
+                        k.atom_add(q.field(OFF_FINISHED), 1)
+                        k.iadd(done, 1, dst=done)
+                    emit_dequeue_sync(k, q, on_item)
+
+            k.if_else(k.eq(k.ctaid(), 0), produce, consume)
+            k.exit()
+            _launch(dev, KernelFunction("tq_clean_pair", k.build()),
+                    grid=2, block=1)
+
+        assert run_both(scenario).clean
+
+    @pytest.mark.parametrize("mode_name", ["persistent", "persistent-async"])
+    def test_persistent_mode_benchmark_is_clean(self, mode_name):
+        from repro.workloads import get_benchmark
+
+        config = dataclasses.replace(GPUConfig.k20c(), sanitize=True)
+        wl = get_benchmark("bfs_citation", ExecutionMode.parse(mode_name),
+                           scale=0.04)
+        result = wl.execute(config=config, latency_scale=0.25)
+        assert result.sanitizer is not None and result.sanitizer.clean

@@ -1,7 +1,10 @@
 """Golden statistics: live simulations vs the pinned corpus.
 
 ``tests/golden/*.json`` pins ``SimStats.to_dict()`` for a small
-benchmark grid (see ``tools/golden_refresh.py``).  These tests recompute
+benchmark grid (see ``tools/golden_refresh.py``), including the
+persistent-scheduler modes on the BFS and SSSP graph traversals — the
+modes whose cross-block queue traffic is most sensitive to scheduling
+drift.  These tests recompute
 each grid point and compare **exactly** — one cycle of drift anywhere in
 the model fails loudly, with a per-counter diff in the assertion.
 
@@ -21,16 +24,22 @@ from repro.workloads import get_benchmark
 
 SCALE = 0.08
 LATENCY_SCALE = 0.25
-BENCHMARKS = ("bfs_citation", "bht")
-MODES = ("flat", "cdp", "dtbl", "cdpa", "cons")
+#: Pinned mode list per benchmark (must mirror tools/golden_refresh.py).
+PER_BENCHMARK_MODES = {
+    "bfs_citation": (
+        "flat", "cdp", "dtbl", "cdpa", "cons", "persistent", "persistent-async",
+    ),
+    "bht": ("flat", "cdp", "dtbl", "cdpa", "cons"),
+    "sssp_citation": ("flat", "persistent", "persistent-async"),
+}
 #: Corpus file tag -> GPUConfig.core selection.
 CORES = (("ref", "reference"), ("fast", "fast"), ("vector", "vector"))
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 GRID = [
     (bench, mode, tag, core)
-    for bench in BENCHMARKS
-    for mode in MODES
+    for bench, modes in PER_BENCHMARK_MODES.items()
+    for mode in modes
     for tag, core in CORES
 ]
 

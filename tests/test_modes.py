@@ -80,3 +80,92 @@ class TestModes:
 
         with pytest.raises(ConfigError):
             LatencyModel.measured_k20c().scaled(0)
+
+
+class TestPersistentModes:
+    """Classification of the persistent task-parallel scheduler modes."""
+
+    def test_persistent_flag(self):
+        assert ExecutionMode.PERSISTENT.persistent
+        assert ExecutionMode.PERSISTENT_ASYNC.persistent
+        assert not any(
+            m.persistent
+            for m in ExecutionMode
+            if m not in (ExecutionMode.PERSISTENT, ExecutionMode.PERSISTENT_ASYNC)
+        )
+
+    def test_persistent_builds_from_the_cdp_kernel_shape(self):
+        # The workloads build their canonical CDP launch sites; the
+        # persist rewrite turns those sites into queue pushes.
+        assert ExecutionMode.PERSISTENT.uses_cdp
+        assert ExecutionMode.PERSISTENT_ASYNC.uses_cdp
+        assert not ExecutionMode.PERSISTENT.uses_dtbl
+        assert not ExecutionMode.PERSISTENT.compiler_optimized
+        assert not ExecutionMode.PERSISTENT_ASYNC.compiler_optimized
+        assert not ExecutionMode.PERSISTENT.ideal
+        assert ExecutionMode.PERSISTENT.is_dynamic
+
+    def test_persistent_latency_model_is_measured(self):
+        assert (
+            ExecutionMode.PERSISTENT.latency_model()
+            == LatencyModel.measured_k20c()
+        )
+
+    def test_parse_round_trip(self):
+        for mode in (ExecutionMode.PERSISTENT, ExecutionMode.PERSISTENT_ASYNC):
+            assert ExecutionMode.parse(mode.value) is mode
+
+    def test_comparison_order_has_nine_modes(self):
+        order = ExecutionMode.comparison_order()
+        assert len(order) == 9
+        assert order[-2:] == (
+            ExecutionMode.PERSISTENT,
+            ExecutionMode.PERSISTENT_ASYNC,
+        )
+
+
+class TestPersistentEquivalence:
+    """The mode-equivalence net: persistent scheduling must reproduce the
+    flat results bit for bit on every workload (``verify=True`` checks
+    the device output against the same pure-Python reference every other
+    mode is held to), leave the task queue drained, and agree exactly
+    across all three execution cores."""
+
+    SCALE = 0.05
+    LATENCY_SCALE = 0.25
+
+    @pytest.mark.parametrize("mode_name", ["persistent", "persistent-async"])
+    @pytest.mark.parametrize("bench", sorted(__import__("repro.workloads", fromlist=["BENCHMARKS"]).BENCHMARKS))
+    def test_every_workload_matches_flat(self, bench, mode_name):
+        from repro.workloads import get_benchmark
+
+        wl = get_benchmark(bench, ExecutionMode.parse(mode_name), scale=self.SCALE)
+        result = wl.execute(latency_scale=self.LATENCY_SCALE)
+        assert result.cycles > 0
+
+    @pytest.mark.parametrize(
+        "bench,mode_name",
+        [
+            ("bfs_citation", "persistent"),
+            ("bfs_citation", "persistent-async"),
+            ("bht", "persistent"),
+        ],
+    )
+    def test_three_cores_agree_exactly(self, bench, mode_name):
+        import dataclasses
+
+        from repro.config import GPUConfig
+        from repro.workloads import get_benchmark
+
+        stats = {}
+        for core in ("reference", "fast", "vector"):
+            config = dataclasses.replace(GPUConfig.k20c(), core=core)
+            wl = get_benchmark(
+                bench, ExecutionMode.parse(mode_name), scale=self.SCALE
+            )
+            data = wl.execute(
+                config=config, latency_scale=self.LATENCY_SCALE
+            ).stats.to_dict()
+            data.pop("config")  # records the core name itself
+            stats[core] = data
+        assert stats["reference"] == stats["fast"] == stats["vector"]

@@ -1,10 +1,13 @@
 #!/usr/bin/env python
 """Regenerate the golden statistics corpus under ``tests/golden/``.
 
-The corpus pins ``SimStats.to_dict()`` for a small benchmark grid —
-``bfs_citation`` and ``bht`` in flat/cdp/dtbl plus the compiler-optimized
-cdpa/cons modes, on all three simulation cores — at ``scale=0.08``,
-``latency_scale=0.25`` on the K20c configuration.
+The corpus pins ``SimStats.to_dict()`` for a small benchmark grid (see
+``PER_BENCHMARK_MODES``): ``bfs_citation`` across flat/cdp/dtbl, the
+compiler-optimized cdpa/cons modes and the persistent-scheduler
+persistent/persistent-async modes, ``bht`` across the original five, and
+``sssp_citation`` pinning the persistent modes against flat — each on
+all three simulation cores, at ``scale=0.08``, ``latency_scale=0.25``
+on the K20c configuration.
 ``tests/test_golden_stats.py`` compares live simulations against these
 files *exactly*: any counter drift, however small, fails the suite.
 
@@ -33,8 +36,13 @@ from repro.workloads import get_benchmark  # noqa: E402
 
 SCALE = 0.08
 LATENCY_SCALE = 0.25
-BENCHMARKS = ("bfs_citation", "bht")
-MODES = ("flat", "cdp", "dtbl", "cdpa", "cons")
+PER_BENCHMARK_MODES = {
+    "bfs_citation": (
+        "flat", "cdp", "dtbl", "cdpa", "cons", "persistent", "persistent-async",
+    ),
+    "bht": ("flat", "cdp", "dtbl", "cdpa", "cons"),
+    "sssp_citation": ("flat", "persistent", "persistent-async"),
+}
 CORES = (("ref", "reference"), ("fast", "fast"), ("vector", "vector"))
 GOLDEN_DIR = REPO / "tests" / "golden"
 
@@ -49,8 +57,8 @@ def golden_stats(bench: str, mode: str, core: str) -> dict:
 
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    for bench in BENCHMARKS:
-        for mode in MODES:
+    for bench, modes in PER_BENCHMARK_MODES.items():
+        for mode in modes:
             for tag, core in CORES:
                 stats = golden_stats(bench, mode, core)
                 path = GOLDEN_DIR / f"{bench}-{mode}-{tag}.json"

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Modes smoke check: one workload under the full 7-mode grid.
+"""Modes smoke check: one workload under the full 9-mode grid.
 
 Runs a small benchmark under every :class:`ExecutionMode` with the
 sanitizer on and result verification enabled (each run's output buffers
